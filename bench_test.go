@@ -1,0 +1,327 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6), plus micro-benchmarks of the pipeline stages.
+// Each experiment benchmark reports its headline numbers as custom
+// metrics so `go test -bench` output documents the reproduced shapes:
+//
+//	go test -bench=. -benchmem
+//
+// The experiments run at a reduced scale (the bench fixtures are ~20% of
+// the default harness scale) so the full suite completes in minutes; use
+// cmd/xclusterbench for full-scale runs.
+package xcluster_test
+
+import (
+	"sync"
+	"testing"
+
+	"xcluster/internal/core"
+	"xcluster/internal/harness"
+	"xcluster/internal/query"
+	"xcluster/internal/workload"
+)
+
+// benchCfg is the shared experiment configuration for benchmarks. Scale 1
+// (the harness default, ~15k-element documents) is the smallest scale at
+// which the per-dataset budget balance reproduces the paper's shapes.
+var benchCfg = harness.Config{Scale: 1, Seed: 42, PerClass: 30, Points: 4}
+
+var (
+	fixtureOnce sync.Once
+	fixtures    map[string]*harness.Dataset
+)
+
+// datasets materializes the two benchmark datasets once per process.
+func datasets(b *testing.B) map[string]*harness.Dataset {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixtures = make(map[string]*harness.Dataset)
+		for _, name := range harness.DatasetNames() {
+			d, err := harness.NewDataset(name, benchCfg)
+			if err != nil {
+				panic(err)
+			}
+			fixtures[name] = d
+		}
+	})
+	return fixtures
+}
+
+// BenchmarkTable1DatasetCharacteristics regenerates Table 1: data set and
+// reference-synopsis characteristics.
+func BenchmarkTable1DatasetCharacteristics(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	var rows []harness.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range harness.DatasetNames() {
+			rows = append(rows, harness.Table1(ds[name]))
+		}
+	}
+	b.ReportMetric(float64(rows[0].Elements), "imdb-elements")
+	b.ReportMetric(rows[0].RefKB, "imdb-ref-KB")
+	b.ReportMetric(float64(rows[1].Elements), "xmark-elements")
+	b.ReportMetric(rows[1].RefKB, "xmark-ref-KB")
+}
+
+// BenchmarkTable2WorkloadCharacteristics regenerates Table 2: average
+// result sizes of the positive workloads.
+func BenchmarkTable2WorkloadCharacteristics(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	var rows []harness.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range harness.DatasetNames() {
+			rows = append(rows, harness.Table2(ds[name]))
+		}
+	}
+	b.ReportMetric(rows[0].AvgStruct, "imdb-avg-struct")
+	b.ReportMetric(rows[0].AvgPred, "imdb-avg-pred")
+	b.ReportMetric(rows[1].AvgStruct, "xmark-avg-struct")
+	b.ReportMetric(rows[1].AvgPred, "xmark-avg-pred")
+}
+
+// figure8Bench runs one panel of Figure 8 and reports the end-point
+// errors: the coarsest (tag-level) and largest synopses of the sweep.
+func figure8Bench(b *testing.B, name string) {
+	d := datasets(b)[name]
+	b.ResetTimer()
+	var rows []harness.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.Figure8(d, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.Overall*100, "overall%-min-budget")
+	b.ReportMetric(last.Overall*100, "overall%-max-budget")
+	b.ReportMetric(last.Numeric*100, "numeric%-max-budget")
+	b.ReportMetric(last.String*100, "string%-max-budget")
+	b.ReportMetric(last.Text*100, "text%-max-budget")
+	b.ReportMetric(last.Struct*100, "struct%-max-budget")
+}
+
+// BenchmarkFigure8aIMDBError regenerates Figure 8(a): estimation error
+// versus synopsis size on IMDB.
+func BenchmarkFigure8aIMDBError(b *testing.B) { figure8Bench(b, "IMDB") }
+
+// BenchmarkFigure8bXMarkError regenerates Figure 8(b): estimation error
+// versus synopsis size on XMark.
+func BenchmarkFigure8bXMarkError(b *testing.B) { figure8Bench(b, "XMark") }
+
+// BenchmarkFigure9LowCountAbsoluteError regenerates Figure 9: average
+// absolute error for low-count queries at the largest synopsis.
+func BenchmarkFigure9LowCountAbsoluteError(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	var rows []harness.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.Figure9(ds[name], benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+	}
+	for _, r := range rows {
+		if r.N > 0 {
+			b.ReportMetric(r.AbsErr, r.Dataset+"-"+r.Class.String()+"-abs")
+		}
+	}
+}
+
+// BenchmarkNegativeWorkload verifies the Section 6.1 prose claim: zero
+// estimates for zero-selectivity queries at the smallest budget.
+func BenchmarkNegativeWorkload(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	var rows []harness.NegativeRow
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.NegativeExperiment(ds[name], benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.MaxEst > worst {
+			worst = r.MaxEst
+		}
+	}
+	b.ReportMetric(worst, "worst-negative-estimate")
+}
+
+// ---- ablations ----
+
+// BenchmarkAblationTermHist compares the end-biased term histogram
+// against a conventional range-bucket histogram on term vectors (the
+// Section 3 design argument).
+func BenchmarkAblationTermHist(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	var rows []harness.AblationTermHistRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.AblationTermHist(d, []int{1024, 128})
+	}
+	b.ReportMetric(rows[1].EndBiasedErr, "end-biased-err@128B")
+	b.ReportMetric(rows[1].ConvErr, "conventional-err@128B")
+	b.ReportMetric(rows[1].EndBiasedZero, "end-biased-absent@128B")
+	b.ReportMetric(rows[1].ConvZero, "conventional-absent@128B")
+}
+
+// BenchmarkAblationPSTPruning compares pruning-error leaf ordering with
+// naive lowest-count ordering (the st_cmprs design argument).
+func BenchmarkAblationPSTPruning(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	var rows []harness.AblationPSTRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.AblationPSTPruning(d, []float64{0.75}, 7)
+	}
+	b.ReportMetric(rows[0].ByErrorErr, "pruning-error-order")
+	b.ReportMetric(rows[0].ByCountErr, "lowest-count-order")
+}
+
+// BenchmarkAblationBuildPolicy compares the full construction algorithm
+// with the no-level-heuristic and random-merge baselines.
+func BenchmarkAblationBuildPolicy(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	var rows []harness.AblationBuildRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.AblationBuild(d, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := map[string]string{
+			"localized Δ + levels":       "full%",
+			"localized Δ, no levels":     "no-levels%",
+			"global (TreeSketch) metric": "global%",
+			"random merges":              "random%",
+		}[r.Policy]
+		b.ReportMetric(r.Overall*100, name)
+	}
+}
+
+// BenchmarkAblationNumericSummaries compares histogram, wavelet and
+// sample NUMERIC summaries at equal budgets on range estimation (the
+// paper's Section 3 note that all three tools apply).
+func BenchmarkAblationNumericSummaries(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	var rows []harness.AblationNumericRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.AblationNumericSummaries(d, []int{128}, 7)
+	}
+	b.ReportMetric(rows[0].Histogram, "histogram-err@128B")
+	b.ReportMetric(rows[0].Wavelet, "wavelet-err@128B")
+	b.ReportMetric(rows[0].Sample, "sample-err@128B")
+}
+
+// BenchmarkAutoBudgetAllocation runs the Section 4.3 future-work
+// extension: the unified-budget split search versus fixed splits, scored
+// on held-out queries.
+func BenchmarkAutoBudgetAllocation(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	var rows []harness.AutoBudgetRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.AutoBudgetExperiment(d, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Split == "auto (sample-guided)" {
+			b.ReportMetric(r.Overall*100, "auto-split%")
+			b.ReportMetric(float64(r.Bstr), "auto-bstr-bytes")
+		}
+	}
+}
+
+// ---- micro-benchmarks ----
+
+// BenchmarkBuildReference measures reference-synopsis construction.
+func BenchmarkBuildReference(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := core.BuildReference(d.Tree, core.ReferenceOptions{ValuePaths: d.ValuePaths})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ref
+	}
+}
+
+// BenchmarkXClusterBuild measures the two-phase compression to a mid
+// budget.
+func BenchmarkXClusterBuild(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	bstr := d.Ref.StructBytes() / 20
+	bval := benchCfg.ValueBudget(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.XClusterBuild(d.Ref, core.BuildOptions{StructBudget: bstr, ValueBudget: bval})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+	}
+}
+
+// BenchmarkEstimate measures per-query estimation over a compressed
+// synopsis (the operation a query optimizer issues).
+func BenchmarkEstimate(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	s, err := benchCfg.BuildAt(d, d.Ref.StructBytes()/20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := core.NewEstimator(s)
+	qs := d.Workload.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Selectivity(qs[i%len(qs)].Q)
+	}
+}
+
+// BenchmarkExactEvaluation measures exact binding-tuple counting over the
+// document — the cost a synopsis avoids.
+func BenchmarkExactEvaluation(b *testing.B) {
+	d := datasets(b)["IMDB"]
+	ev := query.NewEvaluator(d.Tree)
+	qs := d.Workload.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Selectivity(qs[i%len(qs)].Q)
+	}
+}
+
+// BenchmarkWorkloadGeneration measures workload sampling + exact scoring.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	d := datasets(b)["XMark"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := workload.Generate(d.Tree, workload.Options{
+			Seed: int64(i), PerClass: 5, ValuePaths: d.ValuePaths,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w
+	}
+}

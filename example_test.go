@@ -1,0 +1,71 @@
+package xcluster_test
+
+import (
+	"fmt"
+	"strings"
+
+	"xcluster"
+)
+
+// ExampleBuild shows the end-to-end flow: parse a document, build a
+// budgeted synopsis, and estimate a twig query with heterogeneous
+// predicates against the exact answer.
+func ExampleBuild() {
+	doc := `<dblp>
+	  <paper><year>1999</year><title>Join Processing</title>
+	    <abstract>classical relational join processing in database engines</abstract></paper>
+	  <paper><year>2004</year><title>Tree Synopses</title>
+	    <abstract>a synopsis model for xml data trees enabling selectivity estimation</abstract>
+	    <keywords>xml synopsis</keywords></paper>
+	  <paper><year>2005</year><title>Tree Patterns</title>
+	    <abstract>twig pattern matching over xml synopsis structures</abstract>
+	    <keywords>xml twig</keywords></paper>
+	</dblp>`
+	tree, _ := xcluster.ParseXML(strings.NewReader(doc))
+	syn, _ := xcluster.Build(tree, xcluster.Options{StructBudget: 1024, ValueBudget: 1024})
+
+	q, _ := xcluster.ParseQuery("//paper[year>2000][abstract ftcontains(xml,synopsis)]/title[contains(Tree)]")
+	est := xcluster.NewEstimator(syn)
+	fmt.Printf("estimate: %.0f\n", est.Selectivity(q))
+	fmt.Printf("exact:    %.0f\n", xcluster.ExactSelectivity(tree, q))
+	// Output:
+	// estimate: 2
+	// exact:    2
+}
+
+// ExampleParseQuery shows the supported twig-query fragment.
+func ExampleParseQuery() {
+	for _, s := range []string{
+		"//paper/title",
+		"//paper[year>2000]",
+		"//item[name contains(Brass)][quantity>=5]",
+		"//text[ftsim(2,vintage,rare,signed)]",
+	} {
+		q, err := xcluster.ParseQuery(s)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%d variable(s): %s\n", q.Vars(), s)
+	}
+	// Output:
+	// 1 variable(s): //paper/title
+	// 2 variable(s): //paper[year>2000]
+	// 3 variable(s): //item[name contains(Brass)][quantity>=5]
+	// 1 variable(s): //text[ftsim(2,vintage,rare,signed)]
+}
+
+// ExampleExactSelectivity shows binding-tuple semantics: every query
+// variable binds, so sibling branches multiply.
+func ExampleExactSelectivity() {
+	doc := `<root><author>
+	  <paper/><paper/>
+	  <interest/><interest/><interest/>
+	</author></root>`
+	tree, _ := xcluster.ParseXML(strings.NewReader(doc))
+	q, _ := xcluster.ParseQuery("//author[paper][interest]")
+	// (author, paper, interest) assignments: 1 * 2 * 3.
+	fmt.Printf("%.0f\n", xcluster.ExactSelectivity(tree, q))
+	// Output:
+	// 6
+}

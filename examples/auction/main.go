@@ -1,0 +1,87 @@
+// Auction: heterogeneous-content estimation on the XMark-like auction
+// site. The scenario sweeps the synopsis storage budget and reports, per
+// predicate class (numeric range, substring, keyword), how estimation
+// accuracy degrades as the summary shrinks — the accuracy/space tradeoff
+// an administrator would use to size optimizer statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xcluster"
+	"xcluster/internal/datagen"
+)
+
+type probe struct {
+	class string
+	qs    string
+}
+
+func main() {
+	tree := datagen.XMark(datagen.XMarkConfig{Seed: 23, Scale: 1})
+	fmt.Printf("document: %d elements\n", tree.Len())
+
+	ref, err := xcluster.BuildReference(tree, xcluster.Options{
+		ValuePaths: datagen.XMarkValuePaths(),
+		PSTDepth:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %s\n\n", xcluster.SynopsisStats(ref))
+
+	probes := []probe{
+		{"numeric", "//open_auction[initial>100]"},
+		{"numeric", "//open_auction/bidder[increase>=20]"},
+		{"numeric", "//person/profile[age<30]"},
+		{"string", "//item[name contains(Brass)]"},
+		{"string", "//person[name contains(Smi)]"},
+		{"text", "//item/description[text ftcontains(vintage)]"},
+		{"text", "//open_auction/annotation/description[text ftcontains(shipping,included)]"},
+	}
+
+	// Exact answers once.
+	exact := make([]float64, len(probes))
+	for i, p := range probes {
+		q, err := xcluster.ParseQuery(p.qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact[i] = xcluster.ExactSelectivity(tree, q)
+	}
+
+	fmt.Printf("%-10s %-10s", "budget", "size(KB)")
+	for _, p := range probes {
+		fmt.Printf(" %9s", p.class)
+	}
+	fmt.Println(" <- avg rel err per probe")
+
+	for _, frac := range []float64{1.0, 0.5, 0.25, 0.1, 0.02} {
+		bstr := int(frac * float64(ref.StructBytes()))
+		bval := int(frac * float64(ref.ValueBytes()))
+		syn, err := xcluster.Compress(ref, bstr, bval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := xcluster.NewEstimator(syn)
+		st := xcluster.SynopsisStats(syn)
+		fmt.Printf("%9.0f%% %10.1f", frac*100, st.TotalKB)
+		for i, p := range probes {
+			q, _ := xcluster.ParseQuery(p.qs)
+			e := est.Selectivity(q)
+			rel := 0.0
+			if exact[i] > 0 {
+				rel = math.Abs(exact[i]-e) / exact[i]
+			}
+			fmt.Printf(" %8.1f%%", rel*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nexact selectivities:")
+	for i, p := range probes {
+		fmt.Printf("  %-65s %6.0f\n", p.qs, exact[i])
+	}
+}

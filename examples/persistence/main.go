@@ -1,0 +1,93 @@
+// Persistence: the optimizer-statistics lifecycle. A synopsis is built
+// once with an automatically chosen structural/value budget split
+// (xcluster.AutoBuild searches the ratio against a sample workload, the
+// extension the paper sketches in Section 4.3), serialized to disk, and
+// later reloaded by a process that never sees the database — estimates
+// survive the round trip bit-for-bit.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"xcluster"
+	"xcluster/internal/datagen"
+)
+
+func main() {
+	tree := datagen.XMark(datagen.XMarkConfig{Seed: 31, Scale: 0.5})
+	fmt.Printf("document: %d elements\n", tree.Len())
+
+	// A sample workload steers the budget split.
+	var sample []*xcluster.Query
+	for _, qs := range []string{
+		"//item[quantity>5]",
+		"//person[name contains(Smi)]",
+		"//open_auction/bidder[increase>=10]",
+		"//item/description[text ftcontains(vintage)]",
+		"//person[./profile]",
+	} {
+		q, err := xcluster.ParseQuery(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sample = append(sample, q)
+	}
+
+	total := 24 << 10 // one unified 24 KB budget
+	syn, bstr, err := xcluster.AutoBuild(tree, total, sample, xcluster.Options{
+		ValuePaths: datagen.XMarkValuePaths(),
+		PSTDepth:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto-allocated: %d B structure + %d B values of %d B total\n",
+		bstr, total-bstr, total)
+	fmt.Printf("synopsis: %s\n", xcluster.SynopsisStats(syn))
+
+	// Persist.
+	path := filepath.Join(os.TempDir(), "xmark-synopsis.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := xcluster.WriteSynopsis(f, syn); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("serialized to %s (%d bytes)\n\n", path, fi.Size())
+
+	// A different "process": reload and estimate without the document.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := xcluster.ReadSynopsis(g)
+	g.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	est := xcluster.NewEstimator(loaded)
+	orig := xcluster.NewEstimator(syn)
+	fmt.Printf("%-55s %10s %10s %8s\n", "query", "loaded", "original", "exact")
+	for _, q := range sample {
+		var a, c bytes.Buffer
+		fmt.Fprintf(&a, "%.2f", est.Selectivity(q))
+		fmt.Fprintf(&c, "%.2f", orig.Selectivity(q))
+		if a.String() != c.String() {
+			log.Fatalf("estimate diverged after reload: %s vs %s", a.String(), c.String())
+		}
+		fmt.Printf("%-55s %10s %10s %8.0f\n", q, a.String(), c.String(),
+			xcluster.ExactSelectivity(tree, q))
+	}
+	fmt.Println("\nall estimates identical across the serialization round trip")
+	os.Remove(path)
+}

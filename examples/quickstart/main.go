@@ -1,0 +1,74 @@
+// Quickstart: parse a small XML document, build an XCluster synopsis
+// under a storage budget, and estimate twig-query selectivities against
+// the exact answers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xcluster"
+)
+
+const doc = `
+<library>
+  <book>
+    <title>The Art of Computer Programming</title>
+    <year>1968</year>
+    <summary>algorithms analysis fundamental techniques combinatorial searching sorting</summary>
+    <author><name>Donald Knuth</name></author>
+  </book>
+  <book>
+    <title>Structure and Interpretation of Computer Programs</title>
+    <year>1985</year>
+    <summary>programming abstraction recursion interpreters metalinguistic evaluation scheme</summary>
+    <author><name>Harold Abelson</name></author>
+    <author><name>Gerald Sussman</name></author>
+  </book>
+  <book>
+    <title>Database System Concepts</title>
+    <year>2001</year>
+    <summary>relational model transactions storage indexing query optimization concurrency</summary>
+    <author><name>Avi Silberschatz</name></author>
+  </book>
+  <journal>
+    <title>Communications of the ACM</title>
+    <year>1958</year>
+  </journal>
+</library>`
+
+func main() {
+	tree, err := xcluster.ParseXML(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements\n", tree.Len())
+
+	// Build a synopsis within ~1 KB of total storage.
+	syn, err := xcluster.Build(tree, xcluster.Options{
+		StructBudget: 512,
+		ValueBudget:  512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synopsis: %s\n\n", xcluster.SynopsisStats(syn))
+
+	est := xcluster.NewEstimator(syn)
+	for _, qs := range []string{
+		"//book",
+		"//book/author/name",
+		"//book[year>1980]",
+		"//book[title contains(Computer)]",
+		"//book[summary ftcontains(programming)]",
+		"//book[year>1980][summary ftcontains(query,optimization)]/title",
+	} {
+		q, err := xcluster.ParseQuery(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-60s estimate=%6.2f exact=%3.0f\n",
+			qs, est.Selectivity(q), xcluster.ExactSelectivity(tree, q))
+	}
+}

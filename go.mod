@@ -1,0 +1,3 @@
+module xcluster
+
+go 1.24

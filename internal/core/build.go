@@ -1,0 +1,737 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xcluster/internal/vsum"
+	"xcluster/internal/xmltree"
+)
+
+// BuildOptions configure XClusterBuild.
+type BuildOptions struct {
+	// StructBudget is Bstr: the byte budget for nodes, edges and edge
+	// counts.
+	StructBudget int
+	// ValueBudget is Bval: the byte budget for value summaries.
+	ValueBudget int
+	// Hm caps the candidate-merge pool; Hl is the replenish threshold
+	// (the paper uses 10000 / 5000).
+	Hm, Hl int
+	// AtomicCap bounds atomic predicates per summary in Δ evaluations
+	// (DefaultAtomicCap when 0).
+	AtomicCap int
+	// PairWindow bounds, within a sorted candidate group, how far apart
+	// two nodes may sit to be proposed as a merge pair. This keeps
+	// candidate generation near-linear in group size; the pool cap Hm
+	// provides the same guarantee in the paper.
+	PairWindow int
+	// CompressStep is the b parameter of the value-compression
+	// operations; 0 picks it adaptively from the remaining excess.
+	CompressStep int
+	// NoLevelHeuristic disables the bottom-up level stratification of
+	// build_pool, admitting candidates from every level immediately
+	// (ablation of the Figure 6 heuristic).
+	NoLevelHeuristic bool
+	// RandomMerges replaces the marginal-loss candidate selection with
+	// uniformly random compatible merges (ablation of the Δ metric);
+	// RandomSeed drives the choice.
+	RandomMerges bool
+	// RandomSeed seeds RandomMerges.
+	RandomSeed int64
+	// GlobalMetric replaces the paper's localized Δ with the
+	// TreeSketch-style global clustering metric: the increase in
+	// squared structural-centroid distance between the reference
+	// partition and the current clustering. It requires keeping the
+	// reference synopsis and a member index in memory throughout the
+	// build — exactly the overhead Section 4.1 argues the localized
+	// metric avoids — and ignores value distributions. For ablation use.
+	GlobalMetric bool
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.Hm == 0 {
+		o.Hm = 10000
+	}
+	if o.Hl == 0 {
+		o.Hl = o.Hm / 2
+	}
+	if o.AtomicCap == 0 {
+		o.AtomicCap = DefaultAtomicCap
+	}
+	if o.PairWindow == 0 {
+		o.PairWindow = 8
+	}
+	return o
+}
+
+// XClusterBuild runs the paper's two-phase construction (Figure 5) on a
+// reference synopsis: a structure-value merge phase compresses the graph
+// within StructBudget by applying minimum-marginal-loss node merges from
+// a bounded, level-stratified candidate pool; a value-summary compression
+// phase then compresses the per-node value summaries within ValueBudget.
+// The reference synopsis is not modified.
+func XClusterBuild(ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
+	opts = opts.withDefaults()
+	s := ref.Clone()
+	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int)}
+	if opts.GlobalMetric {
+		b.ref = ref
+		b.members = make(map[NodeID][]NodeID, len(ref.nodes))
+		b.refToCur = make(map[NodeID]NodeID, len(ref.nodes))
+		for id := range ref.nodes {
+			b.members[id] = []NodeID{id}
+			b.refToCur[id] = id
+		}
+	}
+	if opts.RandomMerges {
+		if err := b.randomMergePhase(); err != nil {
+			return nil, err
+		}
+	} else if err := b.mergePhase(); err != nil {
+		return nil, err
+	}
+	b.valuePhase()
+	return s, nil
+}
+
+// randomMergePhase merges uniformly random compatible pairs until the
+// structural budget is met — the no-Δ baseline for ablation runs.
+func (b *builder) randomMergePhase() error {
+	rng := rand.New(rand.NewSource(b.opts.RandomSeed))
+	for b.s.StructBytes() > b.opts.StructBudget {
+		groups := make(map[groupKey][]*Node)
+		for _, n := range b.s.nodes {
+			k := nodeGroup(n)
+			groups[k] = append(groups[k], n)
+		}
+		var mergeable []groupKey
+		for k, members := range groups {
+			if len(members) >= 2 {
+				mergeable = append(mergeable, k)
+			}
+		}
+		if len(mergeable) == 0 {
+			return nil
+		}
+		sort.Slice(mergeable, func(i, j int) bool {
+			if mergeable[i].label != mergeable[j].label {
+				return mergeable[i].label < mergeable[j].label
+			}
+			return mergeable[i].vt < mergeable[j].vt
+		})
+		members := groups[mergeable[rng.Intn(len(mergeable))]]
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		i := rng.Intn(len(members))
+		j := rng.Intn(len(members) - 1)
+		if j >= i {
+			j++
+		}
+		if _, err := b.s.Merge(members[i].ID, members[j].ID); err != nil {
+			return fmt.Errorf("core: randomMergePhase: %w", err)
+		}
+	}
+	return nil
+}
+
+// XClusterSweep builds synopses for several structural budgets in one
+// pass. Greedy merging does not depend on the budget (a smaller budget's
+// merge sequence is a prefix extension of a larger one's), so the merge
+// phase runs once toward the smallest budget, snapshotting the synopsis
+// as it crosses each requested budget; each snapshot then gets its own
+// value-compression phase. The result matches XClusterBuild at every
+// budget while paying for one merge phase instead of len(budgets).
+// Results are returned in the order of structBudgets.
+func XClusterSweep(ref *Synopsis, structBudgets []int, valueBudget int, opts BuildOptions) ([]*Synopsis, error) {
+	opts = opts.withDefaults()
+	if opts.RandomMerges || opts.GlobalMetric {
+		return nil, fmt.Errorf("core: XClusterSweep supports only the default policy")
+	}
+	// Work over distinct budgets in descending order.
+	desc := append([]int(nil), structBudgets...)
+	sort.Sort(sort.Reverse(sort.IntSlice(desc)))
+	minBudget := desc[len(desc)-1]
+
+	s := ref.Clone()
+	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int)}
+	b.opts.StructBudget = minBudget
+
+	snapshots := make(map[int]*Synopsis, len(desc))
+	pending := desc
+	takeDue := func() {
+		for len(pending) > 0 && b.s.StructBytes() <= pending[0] {
+			if _, dup := snapshots[pending[0]]; !dup {
+				snapshots[pending[0]] = b.s.Clone()
+			}
+			pending = pending[1:]
+		}
+	}
+	takeDue()
+	b.onMerge = takeDue
+	if err := b.mergePhase(); err != nil {
+		return nil, err
+	}
+	// Budgets below the merge floor get the final state.
+	for _, budget := range pending {
+		snapshots[budget] = b.s.Clone()
+	}
+
+	// Independent value phases, in parallel.
+	distinct := make([]int, 0, len(snapshots))
+	for budget := range snapshots {
+		distinct = append(distinct, budget)
+	}
+	sort.Ints(distinct)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for budget := range next {
+				vb := &builder{s: snapshots[budget], opts: opts, ver: make(map[NodeID]int)}
+				vb.opts.ValueBudget = valueBudget
+				vb.valuePhase()
+			}
+		}()
+	}
+	for _, budget := range distinct {
+		next <- budget
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]*Synopsis, len(structBudgets))
+	for i, budget := range structBudgets {
+		out[i] = snapshots[budget]
+	}
+	return out, nil
+}
+
+// builder holds the mutable state of one XClusterBuild run.
+type builder struct {
+	s    *Synopsis
+	opts BuildOptions
+	// onMerge, when set, runs after every applied merge (used by
+	// XClusterSweep to snapshot budget crossings).
+	onMerge func()
+	// ver tracks node adjacency versions so queued candidates whose
+	// neighborhoods changed are lazily re-evaluated (the paper recomputes
+	// marginal losses in the merged nodes' neighborhood eagerly).
+	ver map[NodeID]int
+	// Global-metric state (GlobalMetric only): the reference synopsis,
+	// the reference nodes absorbed by each current cluster, and the
+	// inverse map.
+	ref      *Synopsis
+	members  map[NodeID][]NodeID
+	refToCur map[NodeID]NodeID
+}
+
+// ---- candidate pool ----
+
+type mergeCand struct {
+	u, v       NodeID
+	delta      float64
+	saved      int
+	marginal   float64
+	mass       float64 // combined extent, the tie spreader
+	verU, verV int
+}
+
+type candHeap []*mergeCand
+
+func (h candHeap) Len() int { return len(h) }
+
+// Less is a strict total order so the pop sequence — and therefore the
+// whole build — is deterministic: marginal loss, then smaller combined
+// extent (ties — typically free zero-Δ merges — consume small clusters
+// first instead of cascading one group into a giant cluster), then node
+// ids.
+func (h candHeap) Less(i, j int) bool {
+	if h[i].marginal != h[j].marginal {
+		return h[i].marginal < h[j].marginal
+	}
+	if h[i].mass != h[j].mass {
+		return h[i].mass < h[j].mass
+	}
+	if h[i].u != h[j].u {
+		return h[i].u < h[j].u
+	}
+	return h[i].v < h[j].v
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(*mergeCand)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// evalCands computes Δ and marginal loss for proposed pairs in parallel,
+// dropping infeasible ones. Order is preserved.
+func (b *builder) evalCands(proposed []*mergeCand) []*mergeCand {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(proposed) {
+		workers = len(proposed)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int, workers)
+		results := make([]*mergeCand, len(proposed))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = b.newCand(proposed[i].u, proposed[i].v)
+				}
+			}()
+		}
+		for i := range proposed {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		out := proposed[:0]
+		for _, c := range results {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	out := proposed[:0]
+	for _, p := range proposed {
+		if c := b.newCand(p.u, p.v); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// newCand evaluates the merge (u, v), returning nil when it cannot be
+// applied.
+func (b *builder) newCand(u, v NodeID) *mergeCand {
+	var (
+		delta float64
+		saved int
+		err   error
+	)
+	if b.opts.GlobalMetric {
+		delta, saved, err = b.globalDelta(u, v)
+	} else {
+		delta, saved, err = b.s.MergeDelta(u, v, b.opts.AtomicCap)
+	}
+	if err != nil {
+		return nil
+	}
+	if saved < 1 {
+		saved = 1
+	}
+	return &mergeCand{
+		u: u, v: v, delta: delta, saved: saved,
+		marginal: delta / float64(saved),
+		mass:     b.s.nodes[u].Count + b.s.nodes[v].Count,
+		verU:     b.ver[u], verV: b.ver[v],
+	}
+}
+
+// refCentroid maps a reference node's structural centroid onto the
+// current clustering: for each reference child edge, the average count is
+// attributed to the current cluster holding that reference child (u and
+// v remapped to the placeholder).
+func (b *builder) refCentroid(refID, u, v NodeID) map[NodeID]float64 {
+	out := make(map[NodeID]float64)
+	for c, avg := range b.ref.nodes[refID].Children {
+		t := b.refToCur[c]
+		if t == u || t == v {
+			t = placeholderID
+		}
+		out[t] += avg
+	}
+	return out
+}
+
+// centroidDist2 returns the squared L2 distance between two sparse
+// centroids.
+func centroidDist2(a, bb map[NodeID]float64) float64 {
+	d := 0.0
+	for t, x := range a {
+		diff := x - bb[t]
+		d += diff * diff
+	}
+	for t, y := range bb {
+		if _, seen := a[t]; !seen {
+			d += y * y
+		}
+	}
+	return d
+}
+
+// globalDelta is the TreeSketch-style clustering metric: the increase in
+// Σ_r |r| · dist²(centroid(r), centroid(cluster(r))) caused by fusing u
+// and v, computed against the reference partition.
+func (b *builder) globalDelta(uid, vid NodeID) (float64, int, error) {
+	u, v := b.s.nodes[uid], b.s.nodes[vid]
+	if u == nil || v == nil {
+		return 0, 0, fmt.Errorf("core: globalDelta(%d,%d): node gone", uid, vid)
+	}
+	if !Compatible(u, v) {
+		return 0, 0, fmt.Errorf("core: globalDelta(%d,%d): incompatible", uid, vid)
+	}
+	wCentroid, _ := mergedEdges(u, v, placeholderID)
+	// Current centroids with u/v self-references remapped, so reference
+	// centroids are compared in the same coordinate system.
+	curCentroid := func(x *Node) map[NodeID]float64 {
+		out := make(map[NodeID]float64, len(x.Children))
+		for c, avg := range x.Children {
+			t := c
+			if t == uid || t == vid {
+				t = placeholderID
+			}
+			out[t] += avg
+		}
+		return out
+	}
+	cu, cv := curCentroid(u), curCentroid(v)
+	delta := 0.0
+	for _, x := range []*Node{u, v} {
+		cur := cu
+		if x == v {
+			cur = cv
+		}
+		for _, r := range b.members[x.ID] {
+			rc := b.refCentroid(r, uid, vid)
+			w := b.ref.nodes[r].Count
+			delta += w * (centroidDist2(rc, wCentroid) - centroidDist2(rc, cur))
+		}
+	}
+	if delta < 0 {
+		delta = 0 // numerical noise; the reference distance is a lower bound
+	}
+	// Structural savings are metric-independent.
+	return delta, b.s.mergeSavings(u, v, len(wCentroid)), nil
+}
+
+type groupKey struct {
+	label string
+	vt    xmltree.ValueType
+	hasV  bool
+}
+
+func nodeGroup(n *Node) groupKey {
+	return groupKey{label: n.Label, vt: n.VType, hasV: n.HasValues()}
+}
+
+// childSig is a cheap similarity key: nodes pointing to similar child
+// sets sort near each other, so the PairWindow pairing proposes the
+// merges most likely to have low Δ (the paper's "clusters are similar if
+// they point to similar children" intuition).
+func childSig(n *Node) string {
+	ids := make([]int, 0, len(n.Children))
+	for c := range n.Children {
+		ids = append(ids, int(c))
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(strconv.Itoa(id))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// buildPool implements build_pool (Figure 6): it proposes merge
+// candidates among label/type-compatible nodes at level <= l, keeping the
+// pool within Hm by evicting the highest marginal losses.
+func (b *builder) buildPool(l int, levels map[NodeID]int) *candHeap {
+	groups := make(map[groupKey][]*Node)
+	var keys []groupKey
+	for _, n := range b.s.Nodes() { // sorted by id: deterministic groups
+		if levels[n.ID] <= l {
+			k := nodeGroup(n)
+			if groups[k] == nil {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], n)
+		}
+	}
+	var cands []*mergeCand
+	for _, k := range keys {
+		members := groups[k]
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool {
+			si, sj := childSig(members[i]), childSig(members[j])
+			if si != sj {
+				return si < sj
+			}
+			if members[i].Count != members[j].Count {
+				return members[i].Count < members[j].Count
+			}
+			return members[i].ID < members[j].ID
+		})
+		for i := range members {
+			for j := i + 1; j <= i+b.opts.PairWindow && j < len(members); j++ {
+				cands = append(cands, &mergeCand{u: members[i].ID, v: members[j].ID})
+			}
+		}
+	}
+	// Candidate Δ evaluations are independent and read-only against the
+	// synopsis, so they run in parallel; the deterministic ordering comes
+	// from the sort and the heap's strict total order afterwards.
+	cands = b.evalCands(cands)
+	if len(cands) > b.opts.Hm {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].marginal != cands[j].marginal {
+				return cands[i].marginal < cands[j].marginal
+			}
+			if cands[i].u != cands[j].u {
+				return cands[i].u < cands[j].u
+			}
+			return cands[i].v < cands[j].v
+		})
+		cands = cands[:b.opts.Hm]
+	}
+	h := candHeap(cands)
+	heap.Init(&h)
+	return &h
+}
+
+// ---- phase 1: structure-value merge ----
+
+func (b *builder) mergePhase() error {
+	opts := b.opts
+	l := 1
+	for b.s.StructBytes() > opts.StructBudget {
+		levels := b.s.Levels()
+		maxLvl := 0
+		for _, lv := range levels {
+			if lv > maxLvl && lv < int(^uint(0)>>1) {
+				maxLvl = lv
+			}
+		}
+		if opts.NoLevelHeuristic || l > maxLvl+1 {
+			l = maxLvl + 1
+		}
+		// Grow the pool level by level until it holds more than Hl
+		// candidates (or every level is admitted): low-level merges must
+		// compete with higher-level ones on marginal loss rather than
+		// being exhausted first.
+		pool := b.buildPool(l, levels)
+		for pool.Len() <= opts.Hl && l <= maxLvl {
+			l++
+			pool = b.buildPool(l, levels)
+		}
+		if pool.Len() == 0 {
+			return nil // nothing left to merge; budget unreachable
+		}
+		// Drain down to Hl, then replenish; once every level is in the
+		// pool, drain fully.
+		stopAt := opts.Hl
+		if l > maxLvl {
+			stopAt = 0
+		}
+		merged := 0
+		maxNewLevel := 0
+		for pool.Len() > stopAt && b.s.StructBytes() > opts.StructBudget {
+			c := heap.Pop(pool).(*mergeCand)
+			u, v := b.s.nodes[c.u], b.s.nodes[c.v]
+			if u == nil || v == nil {
+				continue // consumed by an earlier merge
+			}
+			if b.ver[c.u] != c.verU || b.ver[c.v] != c.verV {
+				// Neighborhood changed: recompute the marginal loss.
+				if fresh := b.newCand(c.u, c.v); fresh != nil {
+					heap.Push(pool, fresh)
+				}
+				continue
+			}
+			w, err := b.s.Merge(c.u, c.v)
+			if err != nil {
+				return fmt.Errorf("core: mergePhase: %w", err)
+			}
+			if b.opts.GlobalMetric {
+				b.members[w.ID] = append(b.members[c.u], b.members[c.v]...)
+				for _, r := range b.members[w.ID] {
+					b.refToCur[r] = w.ID
+				}
+				delete(b.members, c.u)
+				delete(b.members, c.v)
+			}
+			merged++
+			if lw := min(levels[c.u], levels[c.v]); lw > maxNewLevel {
+				maxNewLevel = lw
+			}
+			b.touchNeighborhood(w)
+			if b.onMerge != nil {
+				b.onMerge()
+			}
+			// Propose follow-up merges pairing w within its group.
+			b.pairNew(w, pool, l, levels)
+		}
+		if b.s.StructBytes() <= opts.StructBudget {
+			return nil
+		}
+		if merged == 0 {
+			return nil // pool drained with nothing applicable
+		}
+		if next := maxNewLevel + 1; next > l {
+			l = next
+		}
+	}
+	return nil
+}
+
+// touchNeighborhood bumps the versions of a freshly merged node and its
+// neighbors so queued candidates referencing them are re-evaluated.
+func (b *builder) touchNeighborhood(w *Node) {
+	b.ver[w.ID]++
+	for c := range w.Children {
+		b.ver[c]++
+	}
+	for p := range w.Parents {
+		b.ver[p]++
+	}
+}
+
+// pairNew proposes up to PairWindow merges pairing the new node w with
+// other members of its group at the current level bound.
+func (b *builder) pairNew(w *Node, pool *candHeap, l int, levels map[NodeID]int) {
+	k := nodeGroup(w)
+	added := 0
+	for _, n := range b.s.Nodes() { // sorted by id: deterministic pairing
+		if n.ID == w.ID || nodeGroup(n) != k {
+			continue
+		}
+		if lv, ok := levels[n.ID]; ok && lv > l {
+			continue
+		}
+		if c := b.newCand(w.ID, n.ID); c != nil {
+			heap.Push(pool, c)
+			added++
+			if added >= b.opts.PairWindow {
+				return
+			}
+		}
+	}
+}
+
+// ---- phase 2: value-summary compression ----
+
+type valCand struct {
+	u        NodeID
+	base     vsum.Summary // summary the candidate was computed against
+	next     vsum.Summary
+	delta    float64
+	saved    int
+	marginal float64
+}
+
+type valHeap []*valCand
+
+func (h valHeap) Len() int { return len(h) }
+
+// Less is a strict total order (marginal loss, then node id) for
+// deterministic compression sequences.
+func (h valHeap) Less(i, j int) bool {
+	if h[i].marginal != h[j].marginal {
+		return h[i].marginal < h[j].marginal
+	}
+	return h[i].u < h[j].u
+}
+func (h valHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *valHeap) Push(x any)   { *h = append(*h, x.(*valCand)) }
+func (h *valHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// compressStep picks the b parameter for the next value-compression
+// candidate: the configured constant, or an excess-proportional adaptive
+// value (large early steps, b=1 near the budget).
+func (b *builder) compressStep(excess int) int {
+	if b.opts.CompressStep > 0 {
+		return b.opts.CompressStep
+	}
+	step := excess / 2048
+	if step < 1 {
+		return 1
+	}
+	if step > 256 {
+		return 256
+	}
+	return step
+}
+
+// newValCand evaluates one compression op for node u, or nil when the
+// summary cannot shrink further.
+func (b *builder) newValCand(u *Node, excess int) *valCand {
+	if u.VSum == nil {
+		return nil
+	}
+	next, saved, steps := u.VSum.Compress(b.compressStep(excess))
+	if steps == 0 {
+		return nil
+	}
+	delta, err := b.s.CompressDelta(u.ID, next, b.opts.AtomicCap)
+	if err != nil {
+		return nil
+	}
+	if saved < 1 {
+		saved = 1
+	}
+	return &valCand{
+		u: u.ID, base: u.VSum, next: next,
+		delta: delta, saved: saved, marginal: delta / float64(saved),
+	}
+}
+
+func (b *builder) valuePhase() {
+	cur := b.s.ValueBytes()
+	budget := b.opts.ValueBudget
+	if cur <= budget {
+		return
+	}
+	var h valHeap
+	for _, n := range b.s.Nodes() {
+		if c := b.newValCand(n, cur-budget); c != nil {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	for cur > budget && h.Len() > 0 {
+		c := heap.Pop(&h).(*valCand)
+		n := b.s.nodes[c.u]
+		if n == nil || n.VSum != c.base {
+			// Stale candidate (summary already replaced); re-evaluate.
+			if n != nil {
+				if fresh := b.newValCand(n, cur-budget); fresh != nil {
+					heap.Push(&h, fresh)
+				}
+			}
+			continue
+		}
+		n.VSum = c.next
+		cur -= c.saved
+		if fresh := b.newValCand(n, cur-budget); fresh != nil {
+			heap.Push(&h, fresh)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xcluster/internal/query"
+)
+
+// buildFixture returns a random document and its reference synopsis.
+func buildFixture(t *testing.T, seed int64, size int) (*Synopsis, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := randomTree(rng, size)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, float64(tr.Len())
+}
+
+func TestBuildNoLevelHeuristic(t *testing.T) {
+	ref, elements := buildFixture(t, 21, 250)
+	budget := ref.StructBytes() / 3
+	s, err := XClusterBuild(ref, BuildOptions{
+		StructBudget: budget, ValueBudget: 1 << 20,
+		Hm: 200, Hl: 100, NoLevelHeuristic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StructBytes() > budget && s.NumNodes() > 30 {
+		t.Fatalf("budget missed: %d > %d with %d nodes", s.StructBytes(), budget, s.NumNodes())
+	}
+	if got := s.TotalExtent(); math.Abs(got-elements) > 1e-9 {
+		t.Fatalf("extent = %g, want %g", got, elements)
+	}
+}
+
+func TestBuildGlobalMetric(t *testing.T) {
+	ref, elements := buildFixture(t, 22, 250)
+	budget := ref.StructBytes() / 3
+	s, err := XClusterBuild(ref, BuildOptions{
+		StructBudget: budget, ValueBudget: 1 << 20,
+		Hm: 200, Hl: 100, GlobalMetric: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalExtent(); math.Abs(got-elements) > 1e-9 {
+		t.Fatalf("extent = %g, want %g", got, elements)
+	}
+	// The reference is untouched by the member bookkeeping.
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRandomMergesDeterministic(t *testing.T) {
+	ref, _ := buildFixture(t, 23, 200)
+	budget := ref.StructBytes() / 2
+	a, err := XClusterBuild(ref, BuildOptions{
+		StructBudget: budget, ValueBudget: 1 << 20,
+		RandomMerges: true, RandomSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := XClusterBuild(ref, BuildOptions{
+		StructBudget: budget, ValueBudget: 1 << 20,
+		RandomMerges: true, RandomSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.StructBytes() != b.StructBytes() {
+		t.Fatalf("same seed, different synopses: %d/%d nodes", a.NumNodes(), b.NumNodes())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	ref, _ := buildFixture(t, 24, 250)
+	opts := BuildOptions{StructBudget: ref.StructBytes() / 4, ValueBudget: ref.ValueBytes() / 2, Hm: 200, Hl: 100}
+	a, err := XClusterBuild(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := XClusterBuild(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.StructBytes() != b.StructBytes() || a.ValueBytes() != b.ValueBytes() {
+		t.Fatalf("non-deterministic build: %d/%d nodes, %d/%d struct, %d/%d value",
+			a.NumNodes(), b.NumNodes(), a.StructBytes(), b.StructBytes(), a.ValueBytes(), b.ValueBytes())
+	}
+	// Identical estimates too.
+	rng := rand.New(rand.NewSource(24))
+	tr := randomTree(rng, 250)
+	ea, eb := NewEstimator(a), NewEstimator(b)
+	for i := 0; i < 10; i++ {
+		q := randomStructQuery(rng, tr)
+		x, y := ea.Selectivity(q), eb.Selectivity(q)
+		if math.Abs(x-y) > 1e-9*math.Max(1, x) {
+			t.Fatalf("estimates diverge on %s: %g vs %g", q, x, y)
+		}
+	}
+}
+
+func TestAutoAllocate(t *testing.T) {
+	ref, _ := buildFixture(t, 25, 300)
+	total := (ref.StructBytes() + ref.ValueBytes()) / 3
+	// Score: squared deviation of //num count (any value-bearing label
+	// would do) — a cheap stand-in for workload error.
+	q := query.MustParse("//num")
+	want := NewEstimator(ref).Selectivity(q)
+	score := func(s *Synopsis) float64 {
+		got := NewEstimator(s).Selectivity(q)
+		return math.Abs(got - want)
+	}
+	s, bstr, sc, err := AutoAllocate(ref, total, score, BuildOptions{Hm: 200, Hl: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || bstr <= 0 || bstr >= total {
+		t.Fatalf("bstr = %d of %d", bstr, total)
+	}
+	if sc < 0 {
+		t.Fatalf("score = %g", sc)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate budget rejected.
+	if _, _, _, err := AutoAllocate(ref, 0, score, BuildOptions{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestSweepMatchesIndividualBuilds(t *testing.T) {
+	ref, _ := buildFixture(t, 26, 300)
+	budgets := []int{
+		ref.StructBytes(), // no merging
+		ref.StructBytes() / 2,
+		ref.StructBytes() / 4,
+		0, // tag-level floor
+	}
+	bval := ref.ValueBytes() / 2
+	opts := BuildOptions{Hm: 200, Hl: 100}
+	swept, err := XClusterSweep(ref, budgets, bval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(budgets) {
+		t.Fatalf("results = %d", len(swept))
+	}
+	for i, budget := range budgets {
+		o := opts
+		o.StructBudget = budget
+		o.ValueBudget = bval
+		want, err := XClusterBuild(ref, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := swept[i]
+		if err := got.Validate(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if got.NumNodes() != want.NumNodes() || got.StructBytes() != want.StructBytes() ||
+			got.ValueBytes() != want.ValueBytes() {
+			t.Fatalf("budget %d: sweep %d nodes/%dB/%dB, build %d nodes/%dB/%dB",
+				budget, got.NumNodes(), got.StructBytes(), got.ValueBytes(),
+				want.NumNodes(), want.StructBytes(), want.ValueBytes())
+		}
+	}
+	// Unsupported policies are rejected.
+	if _, err := XClusterSweep(ref, budgets, bval, BuildOptions{RandomMerges: true}); err == nil {
+		t.Fatal("sweep accepted random policy")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xcluster/internal/vsum"
+	"xcluster/internal/wire"
+	"xcluster/internal/xmltree"
+)
+
+// magic identifies the synopsis file format (version 1).
+var magic = []byte("XCLUSTER1\n")
+
+// WriteTo serializes the synopsis (including its term dictionary and all
+// value summaries) in a compact binary format, so an optimizer can load
+// statistics without touching the database. It implements io.WriterTo.
+func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
+	ww := wire.NewWriter(w)
+	ww.Bytes(magic)
+
+	// Term dictionary.
+	ww.Uint(uint64(s.dict.Len()))
+	for _, term := range s.dict.Terms() {
+		ww.String(term)
+	}
+
+	// Graph.
+	ww.Int(int(s.rootID))
+	ww.Int(int(s.nextID))
+	nodes := s.Nodes()
+	ww.Uint(uint64(len(nodes)))
+	for _, n := range nodes {
+		ww.Int(int(n.ID))
+		ww.String(n.Label)
+		ww.Uint(uint64(n.VType))
+		ww.Float(n.Count)
+		ww.String(n.Path)
+		ww.Uint(uint64(len(n.Children)))
+		targets := make([]int, 0, len(n.Children))
+		for c := range n.Children {
+			targets = append(targets, int(c))
+		}
+		sort.Ints(targets)
+		for _, c := range targets {
+			ww.Int(c)
+			ww.Float(n.Children[NodeID(c)])
+		}
+		if n.VSum != nil {
+			ww.Uint(1)
+			vsum.Encode(ww, n.VSum)
+		} else {
+			ww.Uint(0)
+		}
+	}
+	if err := ww.Flush(); err != nil {
+		return ww.Len(), fmt.Errorf("core: WriteTo: %w", err)
+	}
+	return ww.Len(), nil
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteTo.
+func ReadSynopsis(r io.Reader) (*Synopsis, error) {
+	rr := wire.NewReader(r)
+	rr.Expect(magic)
+
+	dict := xmltree.NewDict()
+	nTerms := rr.Uint()
+	for i := uint64(0); i < nTerms && rr.Err() == nil; i++ {
+		dict.Intern(rr.String())
+	}
+
+	s := newSynopsis(dict)
+	s.rootID = NodeID(rr.Int())
+	s.nextID = NodeID(rr.Int())
+	nNodes := rr.Uint()
+	type pendingEdge struct {
+		from, to NodeID
+		avg      float64
+	}
+	var edges []pendingEdge
+	for i := uint64(0); i < nNodes && rr.Err() == nil; i++ {
+		n := &Node{
+			ID:       NodeID(rr.Int()),
+			Label:    rr.String(),
+			VType:    xmltree.ValueType(rr.Uint()),
+			Count:    rr.Float(),
+			Path:     rr.String(),
+			Children: make(map[NodeID]float64),
+			Parents:  make(map[NodeID]struct{}),
+		}
+		nEdges := rr.Uint()
+		for e := uint64(0); e < nEdges && rr.Err() == nil; e++ {
+			edges = append(edges, pendingEdge{from: n.ID, to: NodeID(rr.Int()), avg: rr.Float()})
+		}
+		if rr.Uint() == 1 {
+			sum, err := vsum.Decode(rr)
+			if err != nil {
+				return nil, fmt.Errorf("core: ReadSynopsis: node %d: %w", n.ID, err)
+			}
+			n.VSum = sum
+		}
+		if rr.Err() == nil {
+			s.nodes[n.ID] = n
+		}
+	}
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("core: ReadSynopsis: %w", err)
+	}
+	for _, e := range edges {
+		from, to := s.nodes[e.from], s.nodes[e.to]
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("core: ReadSynopsis: edge %d->%d references missing node", e.from, e.to)
+		}
+		s.setEdge(from, to, e.avg)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ReadSynopsis: %w", err)
+	}
+	return s, nil
+}

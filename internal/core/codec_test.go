@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"xcluster/internal/query"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := figure1(t)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ref.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != ref.NumNodes() || back.NumEdges() != ref.NumEdges() {
+		t.Fatalf("shape changed: %d/%d nodes, %d/%d edges",
+			back.NumNodes(), ref.NumNodes(), back.NumEdges(), ref.NumEdges())
+	}
+	if back.StructBytes() != ref.StructBytes() || back.ValueBytes() != ref.ValueBytes() {
+		t.Fatalf("size accounting changed: %d/%d struct, %d/%d value",
+			back.StructBytes(), ref.StructBytes(), back.ValueBytes(), ref.ValueBytes())
+	}
+	// Estimates are bit-identical across the round trip.
+	a, b := NewEstimator(ref), NewEstimator(back)
+	for _, qs := range []string{
+		"//paper", "//paper[year>2000]", "//title[contains(Tree)]",
+		"//paper[keywords ftcontains(xml)]", "//author[./book/year]",
+		"/dblp//title", "//book[foreword ftcontains(database,systems)]",
+	} {
+		q := query.MustParse(qs)
+		x, y := a.Selectivity(q), b.Selectivity(q)
+		if math.Abs(x-y) > 1e-12*math.Max(1, x) {
+			t.Fatalf("s(%s): %g before, %g after", qs, x, y)
+		}
+	}
+}
+
+func TestCodecRoundTripCompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTree(rng, 300)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := XClusterBuild(ref, BuildOptions{
+		StructBudget: ref.StructBytes() / 4,
+		ValueBudget:  ref.ValueBytes() / 4,
+		Hm:           200, Hl: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewEstimator(s), NewEstimator(back)
+	for i := 0; i < 25; i++ {
+		q := randomStructQuery(rng, tr)
+		if x, y := a.Selectivity(q), b.Selectivity(q); math.Abs(x-y) > 1e-12*math.Max(1, x) {
+			t.Fatalf("s(%s): %g before, %g after", q, x, y)
+		}
+	}
+}
+
+func TestCodecSerializedSizeTracksAccounting(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	var buf bytes.Buffer
+	if _, err := ref.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The byte accounting is a model, not the exact file size, but the
+	// two must be the same order of magnitude — otherwise the paper's
+	// budget semantics would be fiction.
+	charged := ref.TotalBytes()
+	actual := buf.Len()
+	if actual > charged*4 || charged > actual*4 {
+		t.Fatalf("charged %d bytes vs serialized %d bytes", charged, actual)
+	}
+}
+
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	var buf bytes.Buffer
+	if _, err := ref.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("NOTASYNOP\n"), good[10:]...),
+		"truncated":  good[:len(good)/2],
+		"magic only": good[:10],
+	}
+	for name, data := range cases {
+		if _, err := ReadSynopsis(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xcluster/internal/vsum"
+)
+
+// DefaultAtomicCap bounds the number of atomic predicates drawn from one
+// value summary when evaluating the Δ metric. The paper enumerates all
+// atomic predicates; the cap is a performance knob that keeps candidate
+// evaluation affordable on detailed reference summaries (capped
+// enumeration keeps the highest-count predicates, which dominate the
+// squared-error sums).
+const DefaultAtomicCap = 48
+
+// trivialAtomic is the single σ=1 predicate used for structure-only
+// nodes; with it the Δ metric degenerates to a TreeSketch-style squared
+// distance between structural centroids.
+var trivialAtomic = vsum.Atomic{}
+
+// atomicsFor returns the union of atomic predicates of two summaries
+// (either may be nil).
+func atomicsFor(a, b vsum.Summary, cap int) []vsum.Atomic {
+	if a == nil && b == nil {
+		return []vsum.Atomic{trivialAtomic}
+	}
+	seen := make(map[vsum.Atomic]struct{})
+	var out []vsum.Atomic
+	add := func(s vsum.Summary) {
+		if s == nil {
+			return
+		}
+		for _, at := range s.Atomics(cap) {
+			if _, dup := seen[at]; !dup {
+				seen[at] = struct{}{}
+				out = append(out, at)
+			}
+		}
+	}
+	add(a)
+	add(b)
+	return out
+}
+
+// atomicSel returns σ_p(u) for an atomic predicate against a (possibly
+// nil) summary; the trivial predicate has selectivity 1.
+func atomicSel(s vsum.Summary, a vsum.Atomic) float64 {
+	if s == nil {
+		return 1
+	}
+	return s.AtomicSel(a)
+}
+
+// edgeCountsTo returns, for node x, the average child count toward the
+// remapped target t: count(x, t) plus any counts toward u/v when t is the
+// merge placeholder.
+func edgeCountsTo(x *Node, t NodeID, uid, vid, placeholder NodeID) float64 {
+	if t == placeholder {
+		return x.Children[uid] + x.Children[vid]
+	}
+	return x.Children[t]
+}
+
+// placeholderID marks the would-be merged node in Δ computations.
+const placeholderID NodeID = -1
+
+// MergeDelta computes the clustering-error increase Δ(S, merge(S,u,v)) of
+// Section 4.1:
+//
+//	Δ = |u| Σ_p Σ_c (e_S(u,p,c) − e_S′(w,p,c))²
+//	  + |v| Σ_p Σ_c (e_S(v,p,c) − e_S′(w,p,c))²
+//
+// with e(x,p,c) = σ_p(x)·count(x,c), atomic predicates p drawn from the
+// two value summaries (or the trivial predicate for structure-only
+// nodes), and c ranging over the merged child-target set. Leaf clusters
+// use a single virtual unit child so that value differences still
+// register (the atomic query u[p] itself). It also returns the structural
+// bytes the merge would save.
+func (s *Synopsis) MergeDelta(uid, vid NodeID, atomicCap int) (delta float64, structSaved int, err error) {
+	u, v := s.nodes[uid], s.nodes[vid]
+	if u == nil || v == nil {
+		return 0, 0, fmt.Errorf("core: MergeDelta(%d,%d): node gone", uid, vid)
+	}
+	if !Compatible(u, v) {
+		return 0, 0, fmt.Errorf("core: MergeDelta(%d,%d): incompatible", uid, vid)
+	}
+	children, _ := mergedEdges(u, v, placeholderID)
+
+	var wsum vsum.Summary
+	if u.VSum != nil {
+		wsum = u.VSum.Fuse(v.VSum)
+	}
+	atomics := atomicsFor(u.VSum, v.VSum, atomicCap)
+
+	// Sum in sorted target order: float addition is order-sensitive in
+	// the last ULPs, and near-tie candidates must rank identically
+	// across runs for deterministic builds.
+	targets := make([]int, 0, len(children))
+	for t := range children {
+		targets = append(targets, int(t))
+	}
+	sort.Ints(targets)
+	for _, p := range atomics {
+		su := atomicSel(u.VSum, p)
+		sv := atomicSel(v.VSum, p)
+		sw := atomicSel(wsum, p)
+		if len(children) == 0 {
+			// Virtual unit child: the atomic query u[p] itself.
+			du := su - sw
+			dv := sv - sw
+			delta += u.Count*du*du + v.Count*dv*dv
+			continue
+		}
+		for _, ti := range targets {
+			t := NodeID(ti)
+			cw := children[t]
+			cu := edgeCountsTo(u, t, uid, vid, placeholderID)
+			cv := edgeCountsTo(v, t, uid, vid, placeholderID)
+			du := su*cu - sw*cw
+			dv := sv*cv - sw*cw
+			delta += u.Count*du*du + v.Count*dv*dv
+		}
+	}
+
+	return delta, s.mergeSavings(u, v, len(children)), nil
+}
+
+// mergeSavings returns the structural bytes a merge of u and v would
+// save: one node disappears and the edges into/out of u and v collapse
+// into the merged node's edge set (of size wEdges).
+func (s *Synopsis) mergeSavings(u, v *Node, wEdges int) int {
+	uid, vid := u.ID, v.ID
+	before := len(u.Children) + len(v.Children)
+	extParents := 0
+	distinctExt := 0
+	seen := make(map[NodeID]struct{})
+	for _, x := range []*Node{u, v} {
+		for p := range x.Parents {
+			if p == uid || p == vid {
+				continue
+			}
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			distinctExt++
+			parent := s.nodes[p]
+			if _, ok := parent.Children[uid]; ok {
+				extParents++
+			}
+			if _, ok := parent.Children[vid]; ok {
+				extParents++
+			}
+		}
+	}
+	after := wEdges + distinctExt
+	return NodeBytes + (before+extParents-after)*EdgeBytes
+}
+
+// CompressDelta computes the clustering-error increase of replacing
+// vsumm(u) with the compressed summary cs: the first summand of the Δ
+// formula with w = u (the structure is unchanged, only σ_p moves).
+func (s *Synopsis) CompressDelta(uid NodeID, cs vsum.Summary, atomicCap int) (float64, error) {
+	u := s.nodes[uid]
+	if u == nil {
+		return 0, fmt.Errorf("core: CompressDelta(%d): node gone", uid)
+	}
+	if u.VSum == nil {
+		return 0, fmt.Errorf("core: CompressDelta(%d): no value summary", uid)
+	}
+	atomics := u.VSum.Atomics(atomicCap)
+	// Sorted edge order for run-to-run reproducible float sums.
+	avgs := make([]float64, 0, len(u.Children))
+	targets := make([]int, 0, len(u.Children))
+	for t := range u.Children {
+		targets = append(targets, int(t))
+	}
+	sort.Ints(targets)
+	for _, t := range targets {
+		avgs = append(avgs, u.Children[NodeID(t)])
+	}
+	delta := 0.0
+	for _, p := range atomics {
+		d := u.VSum.AtomicSel(p) - cs.AtomicSel(p)
+		if len(avgs) == 0 {
+			delta += u.Count * d * d
+			continue
+		}
+		for _, c := range avgs {
+			e := d * c
+			delta += u.Count * e * e
+		}
+	}
+	return delta, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the synopsis as a Graphviz digraph for visual
+// inspection: one box per structure-value cluster (label, extent size,
+// value-summary type and size) and one edge per child relationship
+// annotated with its average count.
+func (s *Synopsis) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph xcluster {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"Helvetica\", fontsize=10];")
+	for _, n := range s.Nodes() {
+		label := fmt.Sprintf("%s\\n|%g|", n.Label, n.Count)
+		attrs := ""
+		if n.VSum != nil {
+			label += fmt.Sprintf("\\n%s %dB", n.VType, n.VSum.SizeBytes())
+			attrs = ", style=filled, fillcolor=lightyellow"
+		}
+		if n.ID == s.rootID {
+			attrs = ", style=filled, fillcolor=lightblue"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", n.ID, label, attrs); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.Nodes() {
+		for _, c := range sortedChildIDs(n) {
+			avg := n.Children[c]
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%.2g\", fontsize=8];\n", n.ID, c, avg); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// sortedChildIDs returns n's child ids in ascending order for
+// deterministic output.
+func sortedChildIDs(n *Node) []NodeID {
+	out := make([]NodeID, 0, len(n.Children))
+	for c := range n.Children {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

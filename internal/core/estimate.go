@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sort"
+
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// Estimator approximates twig-query selectivities over an XCluster
+// synopsis using the paper's Section 5 framework: it enumerates query
+// embeddings (mappings of query variables to synopsis nodes satisfying
+// the structural and value constraints) and combines edge counts with
+// predicate selectivities under the generalized Path-Value Independence
+// assumption — the selectivity of a path u[p]/c is |u|·σ_p(u)·count(u,c).
+type Estimator struct {
+	s *Synopsis
+	// UninformedSel is the selectivity assumed for a value predicate on
+	// a type-matching cluster that carries no value summary (a value
+	// path not configured for summarization). The default 0 keeps
+	// negative queries at the near-zero estimates reported in the paper;
+	// set 1 for an optimistic (superset) estimate instead.
+	UninformedSel float64
+	// desc caches, per synopsis node, the expected number of
+	// proper-descendant elements per cluster, per element of the node.
+	desc map[NodeID]map[NodeID]float64
+}
+
+// NewEstimator returns an estimator over the synopsis.
+func NewEstimator(s *Synopsis) *Estimator {
+	return &Estimator{s: s, desc: make(map[NodeID]map[NodeID]float64)}
+}
+
+// Selectivity estimates s(Q), the expected number of binding tuples.
+func (e *Estimator) Selectivity(q *query.Query) float64 {
+	memo := make(map[*query.Node]map[NodeID]float64)
+	total := 1.0
+	for _, r := range q.Roots {
+		total *= e.estimate(r, -1, memo)
+	}
+	return total
+}
+
+// estimate returns the expected number of binding tuples of the query
+// subtree rooted at variable v, per element of the synopsis node from
+// (from = -1 denotes the virtual document node above the root).
+func (e *Estimator) estimate(v *query.Node, from NodeID, memo map[*query.Node]map[NodeID]float64) float64 {
+	if m := memo[v]; m != nil {
+		if val, ok := m[from]; ok {
+			return val
+		}
+	}
+	frontier := e.reach(from, v.Steps)
+	total := 0.0
+	for t, cnt := range frontier {
+		node := e.s.nodes[t]
+		sel := e.predSel(node, v.Pred)
+		if sel == 0 {
+			continue
+		}
+		prod := cnt * sel
+		for _, c := range v.Children {
+			prod *= e.estimate(c, t, memo)
+			if prod == 0 {
+				break
+			}
+		}
+		total += prod
+	}
+	m := memo[v]
+	if m == nil {
+		m = make(map[NodeID]float64)
+		memo[v] = m
+	}
+	m[from] = total
+	return total
+}
+
+// predSel returns σ_p(u): 1 for no predicate; 0 when the predicate kind
+// cannot apply to the node's value type (the synopsis is type-respecting,
+// so the whole cluster fails); the value summary's estimate when present;
+// and UninformedSel for a type-matching predicate on an unsummarized
+// cluster.
+func (e *Estimator) predSel(n *Node, p query.Pred) float64 {
+	if p == nil {
+		return 1
+	}
+	var want xmltree.ValueType
+	switch p.Kind() {
+	case query.KindRange:
+		want = xmltree.TypeNumeric
+	case query.KindContains:
+		want = xmltree.TypeString
+	case query.KindFTContains:
+		want = xmltree.TypeText
+	}
+	if n.VType != want {
+		return 0
+	}
+	if n.VSum == nil {
+		return e.UninformedSel
+	}
+	return n.VSum.PredSel(p, e.s.dict)
+}
+
+// reach returns, for each synopsis node t, the expected number of
+// elements of t reached from one element of `from` by the step sequence
+// (the product of average edge counts along all matching synopsis paths,
+// as in the Figure 7 walkthrough).
+func (e *Estimator) reach(from NodeID, steps []query.Step) map[NodeID]float64 {
+	frontier := make(map[NodeID]float64)
+	rest := steps
+	if from == -1 {
+		// The virtual document node has a single child: the root
+		// cluster, with an average count equal to the root element count
+		// (1 for well-formed documents).
+		root := e.s.Root()
+		st := steps[0]
+		rest = steps[1:]
+		if st.Axis == query.Child {
+			if st.Matches(root.Label) {
+				frontier[root.ID] = root.Count
+			}
+		} else {
+			if st.Matches(root.Label) {
+				frontier[root.ID] += root.Count
+			}
+			for d, cnt := range e.descVec(root.ID) {
+				if st.Matches(e.s.nodes[d].Label) {
+					frontier[d] += root.Count * cnt
+				}
+			}
+		}
+	} else {
+		frontier[from] = 1
+	}
+	for _, st := range rest {
+		next := make(map[NodeID]float64)
+		for uid, cnt := range frontier {
+			u := e.s.nodes[uid]
+			if st.Axis == query.Child {
+				for c, avg := range u.Children {
+					if st.Matches(e.s.nodes[c].Label) {
+						next[c] += cnt * avg
+					}
+				}
+			} else {
+				for d, dc := range e.descVec(uid) {
+					if st.Matches(e.s.nodes[d].Label) {
+						next[d] += cnt * dc
+					}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return frontier
+}
+
+// descVec returns the expected number of proper-descendant elements per
+// cluster, per element of node uid:
+//
+//	desc(u)[d] = Σ_c count(u,c)·(δ_{c=d} + desc(c)[d])
+//
+// Cycles (possible after aggressive merging) are truncated at the
+// back-edge: a node currently on the recursion stack contributes its
+// direct reach only, which keeps the computation finite and errs low.
+func (e *Estimator) descVec(uid NodeID) map[NodeID]float64 {
+	if v, ok := e.desc[uid]; ok {
+		return v
+	}
+	onStack := make(map[NodeID]bool)
+	// local memoizes cycle-tainted vectors for this traversal only: they
+	// depend on where the cycle was cut, so they must not enter the
+	// permanent cache, but without any memo a DAG with shared
+	// substructure makes the recursion exponential.
+	local := make(map[NodeID]map[NodeID]float64)
+	// rec reports whether the vector is clean (no cycle truncation in
+	// its subgraph); only clean vectors are cached permanently.
+	// Self-loops — the common cycle after merging recursively nested
+	// same-label clusters — are resolved exactly via the geometric
+	// series desc = (base + a·e_self) / (1 − a); longer cycles are
+	// truncated.
+	var rec func(id NodeID) (map[NodeID]float64, bool)
+	rec = func(id NodeID) (map[NodeID]float64, bool) {
+		if v, ok := e.desc[id]; ok {
+			return v, true
+		}
+		if v, ok := local[id]; ok {
+			return v, false
+		}
+		onStack[id] = true
+		out := make(map[NodeID]float64)
+		clean := true
+		self := 0.0
+		// Deterministic child order: where a cycle is cut depends on
+		// traversal order, and estimates must be reproducible across
+		// runs and serialization round trips.
+		children := make([]int, 0, len(e.s.nodes[id].Children))
+		for c := range e.s.nodes[id].Children {
+			children = append(children, int(c))
+		}
+		sort.Ints(children)
+		for _, ci := range children {
+			c := NodeID(ci)
+			avg := e.s.nodes[id].Children[c]
+			if c == id {
+				self = avg
+				continue
+			}
+			out[c] += avg
+			if onStack[c] {
+				clean = false // truncate the cycle
+				continue
+			}
+			sub, subClean := rec(c)
+			clean = clean && subClean
+			for d, dc := range sub {
+				out[d] += avg * dc
+			}
+		}
+		if self > 0 {
+			// Each element spawns `self` same-cluster children on
+			// average; cap just below 1 so degenerate merged counts
+			// cannot diverge.
+			if self > 0.95 {
+				self = 0.95
+			}
+			scale := 1 / (1 - self)
+			for d := range out {
+				out[d] *= scale
+			}
+			out[id] += self * scale
+		}
+		delete(onStack, id)
+		if clean {
+			e.desc[id] = out
+		} else {
+			local[id] = out
+		}
+		return out, clean
+	}
+	v, _ := rec(uid)
+	return v
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xcluster/internal/query"
+)
+
+// Embedding is one mapping of a query's variables onto synopsis nodes
+// with its estimated contribution to the total selectivity — the unit of
+// Section 5's estimation framework, exposed for debugging and optimizer
+// introspection.
+type Embedding struct {
+	// Nodes maps each query variable (preorder index over the query
+	// tree) to the synopsis node it is bound to.
+	Nodes []NodeID
+	// Tuples is the embedding's estimated binding-tuple count.
+	Tuples float64
+}
+
+// Explain enumerates the query's embeddings and their contributions.
+// The sum of the contributions equals Selectivity(q). Embeddings are
+// returned in decreasing contribution order, capped at limit (<= 0: all).
+//
+// Explain enumerates embeddings explicitly (exponential in the worst
+// case, unlike the memoized Selectivity), so it is intended for query
+// debugging, not the hot path.
+func (e *Estimator) Explain(q *query.Query, limit int) []Embedding {
+	vars := countVars(q)
+	var out []Embedding
+	assignment := make([]NodeID, vars)
+	// Enumerate variable bindings depth-first over the preorder list of
+	// variables: each embedding's contribution is the product of
+	// (reach count × predicate selectivity) over its variables, and the
+	// products sum to exactly what the memoized Selectivity computes.
+	type varInfo struct {
+		node   *query.Node
+		parent int // preorder index of parent variable, -1 for roots
+	}
+	var infos []varInfo
+	var collect func(v *query.Node, parent int)
+	collect = func(v *query.Node, parent int) {
+		idx := len(infos)
+		infos = append(infos, varInfo{node: v, parent: parent})
+		for _, c := range v.Children {
+			collect(c, idx)
+		}
+	}
+	for _, r := range q.Roots {
+		collect(r, -1)
+	}
+
+	var rec func(i int, contrib float64)
+	rec = func(i int, contrib float64) {
+		if i == len(infos) {
+			out = append(out, Embedding{
+				Nodes:  append([]NodeID(nil), assignment...),
+				Tuples: contrib,
+			})
+			return
+		}
+		info := infos[i]
+		from := NodeID(-1)
+		if info.parent >= 0 {
+			from = assignment[info.parent]
+		}
+		frontier := e.reach(from, info.node.Steps)
+		for t, cnt := range frontier {
+			sel := e.predSel(e.s.nodes[t], info.node.Pred)
+			if sel == 0 || cnt == 0 {
+				continue
+			}
+			assignment[i] = t
+			rec(i+1, contrib*cnt*sel)
+		}
+	}
+	rec(0, 1)
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuples > out[j].Tuples })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// countVars returns the number of query variables.
+func countVars(q *query.Query) int {
+	n := 0
+	var walk func(*query.Node)
+	walk = func(v *query.Node) {
+		n++
+		for _, c := range v.Children {
+			walk(c)
+		}
+	}
+	for _, r := range q.Roots {
+		walk(r)
+	}
+	return n
+}
+
+// FormatEmbedding renders an embedding against a synopsis for human
+// consumption, e.g. "paper(/dblp/author/paper) year(...) -> 12.5".
+func (s *Synopsis) FormatEmbedding(em Embedding) string {
+	var sb strings.Builder
+	for i, id := range em.Nodes {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		n := s.nodes[id]
+		if n == nil {
+			sb.WriteString("?")
+			continue
+		}
+		fmt.Fprintf(&sb, "%s(%s)", n.Label, n.Path)
+	}
+	fmt.Fprintf(&sb, " -> %.2f", em.Tuples)
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xcluster/internal/query"
+)
+
+func TestExplainSumsToSelectivity(t *testing.T) {
+	tr := figure1(t)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(ref)
+	for _, qs := range []string{
+		"//paper",
+		"//year",
+		"//paper[year>2000]/title",
+		"//author[./paper][./book]",
+		"/dblp//title[contains(T)]",
+	} {
+		q := query.MustParse(qs)
+		total := est.Selectivity(q)
+		ems := est.Explain(q, 0)
+		sum := 0.0
+		for _, em := range ems {
+			sum += em.Tuples
+		}
+		if math.Abs(sum-total) > 1e-9*math.Max(1, total) {
+			t.Errorf("%s: embeddings sum to %g, Selectivity is %g", qs, sum, total)
+		}
+	}
+}
+
+func TestExplainOrderingAndLimit(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	est := NewEstimator(ref)
+	q := query.MustParse("//year") // three year clusters → 3 embeddings
+	ems := est.Explain(q, 0)
+	if len(ems) < 2 {
+		t.Fatalf("embeddings = %d, want several", len(ems))
+	}
+	for i := 1; i < len(ems); i++ {
+		if ems[i].Tuples > ems[i-1].Tuples {
+			t.Fatal("embeddings not sorted by contribution")
+		}
+	}
+	capped := est.Explain(q, 1)
+	if len(capped) != 1 || capped[0].Tuples != ems[0].Tuples {
+		t.Fatalf("limit broken: %+v", capped)
+	}
+}
+
+func TestExplainRandomizedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := randomTree(rng, 150)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := XClusterBuild(ref, BuildOptions{StructBudget: ref.StructBytes() / 3, ValueBudget: 1 << 20, Hm: 200, Hl: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(s)
+	for i := 0; i < 15; i++ {
+		q := randomStructQuery(rng, tr)
+		total := est.Selectivity(q)
+		sum := 0.0
+		for _, em := range est.Explain(q, 0) {
+			sum += em.Tuples
+		}
+		if math.Abs(sum-total) > 1e-6*math.Max(1, total) {
+			t.Fatalf("%s: embeddings sum %g != selectivity %g", q, sum, total)
+		}
+	}
+}
+
+func TestFormatEmbedding(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	est := NewEstimator(ref)
+	ems := est.Explain(query.MustParse("//paper/title"), 1)
+	if len(ems) == 0 {
+		t.Fatal("no embeddings")
+	}
+	out := ref.FormatEmbedding(ems[0])
+	if !strings.Contains(out, "title") || !strings.Contains(out, "->") {
+		t.Fatalf("FormatEmbedding = %q", out)
+	}
+}

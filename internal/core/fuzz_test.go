@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSynopsis feeds arbitrary bytes to the synopsis decoder: it must
+// either return a valid synopsis or an error — never panic, hang, or
+// return a synopsis that fails validation.
+func FuzzReadSynopsis(f *testing.F) {
+	// Seed with a genuine serialized synopsis plus mutations.
+	tr := figure1(f)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ref.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("XCLUSTER1\n"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good...)
+	for i := 20; i < len(mutated); i += 37 {
+		mutated[i] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSynopsis(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid synopsis: %v", err)
+		}
+	})
+}

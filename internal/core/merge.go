@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Compatible reports whether u and v may be merged: identical labels and
+// value types (the type-respecting constraint), and matching value-summary
+// presence (merging a summarized with an unsummarized cluster would
+// silently discard distribution information).
+func Compatible(u, v *Node) bool {
+	return u.ID != v.ID &&
+		u.Label == v.Label &&
+		u.VType == v.VType &&
+		u.HasValues() == v.HasValues()
+}
+
+// mergedEdges computes the child-edge centroid of the node w that would
+// result from merging u and v: for every child target (with u and v
+// remapped to the merged node, represented by the placeholder id), the
+// average number of children per element of w. The second return value is
+// the parent set of w (u, v remapped likewise).
+func mergedEdges(u, v *Node, placeholder NodeID) (children map[NodeID]float64, parents map[NodeID]struct{}) {
+	total := u.Count + v.Count
+	children = make(map[NodeID]float64, len(u.Children)+len(v.Children))
+	remap := func(id NodeID) NodeID {
+		if id == u.ID || id == v.ID {
+			return placeholder
+		}
+		return id
+	}
+	for _, x := range []*Node{u, v} {
+		// Sorted source order: accumulation into a remapped target can
+		// receive several terms, and float addition order must be
+		// reproducible for deterministic builds.
+		srcs := make([]int, 0, len(x.Children))
+		for c := range x.Children {
+			srcs = append(srcs, int(c))
+		}
+		sort.Ints(srcs)
+		for _, ci := range srcs {
+			c := NodeID(ci)
+			children[remap(c)] += x.Count * x.Children[c] / total
+		}
+	}
+	parents = make(map[NodeID]struct{}, len(u.Parents)+len(v.Parents))
+	for _, x := range []*Node{u, v} {
+		for p := range x.Parents {
+			parents[remap(p)] = struct{}{}
+		}
+	}
+	return children, parents
+}
+
+// Merge applies merge(S, u, v): it replaces clusters u and v with a new
+// cluster w whose extent is the union, with the weighted structural
+// centroid, summed parent edge counts, and fused value summary of the
+// paper's Section 4.1. It returns the new node. The synopsis is modified
+// in place.
+func (s *Synopsis) Merge(uid, vid NodeID) (*Node, error) {
+	u, v := s.nodes[uid], s.nodes[vid]
+	if u == nil || v == nil {
+		return nil, fmt.Errorf("core: Merge(%d,%d): node gone", uid, vid)
+	}
+	if !Compatible(u, v) {
+		return nil, fmt.Errorf("core: Merge(%d,%d): incompatible (%s/%v vs %s/%v)",
+			uid, vid, u.Label, u.VType, v.Label, v.VType)
+	}
+	w := s.addNode(u.Label, u.VType)
+	w.Count = u.Count + v.Count
+	w.Path = u.Path
+	if v.Path != u.Path && !strings.HasSuffix(u.Path, ",…") {
+		// The cluster now spans multiple incoming paths; mark it so
+		// Explain output and debugging dumps don't mislead.
+		w.Path = u.Path + ",…"
+	}
+	children, parents := mergedEdges(u, v, w.ID)
+
+	// Install child edges of w.
+	for c, avg := range children {
+		target := s.nodes[c]
+		if c == w.ID {
+			target = w
+		}
+		s.setEdge(w, target, avg)
+	}
+	// Re-point external parents: count(p, w) = count(p, u) + count(p, v).
+	for p := range parents {
+		if p == w.ID {
+			continue // self-loop already installed above
+		}
+		parent := s.nodes[p]
+		sum := parent.Children[uid] + parent.Children[vid]
+		s.dropEdge(parent, uid)
+		s.dropEdge(parent, vid)
+		s.setEdge(parent, w, sum)
+	}
+	// Detach u and v from their children's parent sets and release their
+	// outgoing edges.
+	for _, x := range []*Node{u, v} {
+		for c := range x.Children {
+			if child := s.nodes[c]; child != nil {
+				delete(child.Parents, x.ID)
+			}
+		}
+		s.edges -= len(x.Children)
+	}
+	// Fuse value summaries.
+	if u.VSum != nil {
+		w.VSum = u.VSum.Fuse(v.VSum)
+	}
+	if s.rootID == uid || s.rootID == vid {
+		s.rootID = w.ID
+	}
+	delete(s.nodes, uid)
+	delete(s.nodes, vid)
+	return w, nil
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xcluster/internal/vsum"
+	"xcluster/internal/xmltree"
+)
+
+// ReferenceOptions configure the reference-synopsis construction.
+type ReferenceOptions struct {
+	// ValuePaths lists the root label paths (e.g.
+	// "/dblp/author/paper/year") whose clusters receive detailed value
+	// summaries, mirroring the paper's setup where value summaries are
+	// built "under specific paths of the underlying XML" provided as
+	// input. Nil summarizes every value-bearing path.
+	ValuePaths []string
+	// Detail tunes the detailed summaries (histogram buckets, PST depth).
+	Detail vsum.BuildOptions
+}
+
+// BuildReference constructs the reference synopsis of a document: a
+// refinement of the lossless count-stable summary in which (1) elements
+// in a cluster have the same number of children in every other cluster,
+// (2) every cluster has exactly one incoming label path (capturing
+// path-to-value correlations), and (3) clusters under the configured
+// value paths carry detailed value summaries.
+func BuildReference(t *xmltree.Tree, opts ReferenceOptions) (*Synopsis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: BuildReference: %w", err)
+	}
+	nodes := t.Nodes()
+
+	// Bottom-up count-stable signatures: two elements share a signature
+	// iff they agree on label, value type, and the multiset of child
+	// signatures. Reverse preorder visits children before parents.
+	sigIDs := make(map[string]int)
+	sigOf := make([]int, len(nodes))
+	var sb strings.Builder
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		counts := make(map[int]int)
+		for _, c := range n.Children {
+			counts[sigOf[c.ID]]++
+		}
+		keys := make([]int, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		sb.Reset()
+		sb.WriteString(n.Label)
+		sb.WriteByte('|')
+		sb.WriteByte(byte('0' + uint8(n.Type)))
+		for _, k := range keys {
+			sb.WriteByte(';')
+			sb.WriteString(strconv.Itoa(k))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(counts[k]))
+		}
+		key := sb.String()
+		id, ok := sigIDs[key]
+		if !ok {
+			id = len(sigIDs)
+			sigIDs[key] = id
+		}
+		sigOf[n.ID] = id
+	}
+
+	// Top-down refinement: an element's cluster is determined by its
+	// parent's cluster plus its own count-stable signature. Every
+	// cluster therefore has exactly one incoming path in the synopsis
+	// graph (the reference is a tree), which is what lets it capture
+	// path-to-value correlations — e.g. year values under structurally
+	// different paper clusters stay in separate clusters with separate
+	// summaries.
+	type ckey struct {
+		parent NodeID // parent cluster (-1 for the root)
+		sig    int
+	}
+	syn := newSynopsis(t.Dict)
+	clusterOf := make([]*Node, len(nodes))
+	clusters := make(map[ckey]*Node)
+	members := make(map[NodeID][]*xmltree.Node)
+	for _, n := range nodes { // preorder: parents first
+		k := ckey{parent: -1, sig: sigOf[n.ID]}
+		var parentPath string
+		if n.Parent != nil {
+			k.parent = clusterOf[n.Parent.ID].ID
+			parentPath = clusterOf[n.Parent.ID].Path
+		}
+		c, ok := clusters[k]
+		if !ok {
+			c = syn.addNode(n.Label, n.Type)
+			c.Path = parentPath + "/" + n.Label
+			clusters[k] = c
+		}
+		c.Count++
+		clusterOf[n.ID] = c
+		members[c.ID] = append(members[c.ID], n)
+	}
+	syn.rootID = clusterOf[t.Root.ID].ID
+
+	// Edges: count(u,v) = (total v-children of u's extent) / |u|.
+	totals := make(map[NodeID]map[NodeID]float64)
+	for _, n := range nodes {
+		u := clusterOf[n.ID]
+		for _, c := range n.Children {
+			v := clusterOf[c.ID]
+			m := totals[u.ID]
+			if m == nil {
+				m = make(map[NodeID]float64)
+				totals[u.ID] = m
+			}
+			m[v.ID]++
+		}
+	}
+	for uid, m := range totals {
+		u := syn.nodes[uid]
+		for vid, total := range m {
+			syn.setEdge(u, syn.nodes[vid], total/u.Count)
+		}
+	}
+
+	// Detailed value summaries under the configured paths.
+	var wanted map[string]bool
+	if opts.ValuePaths != nil {
+		wanted = make(map[string]bool, len(opts.ValuePaths))
+		for _, p := range opts.ValuePaths {
+			wanted[p] = true
+		}
+	}
+	for id, ms := range members {
+		c := syn.nodes[id]
+		if c.VType == xmltree.TypeNull {
+			continue
+		}
+		if wanted != nil && !wanted[c.Path] {
+			continue
+		}
+		s, err := vsum.FromNodes(ms, opts.Detail)
+		if err != nil {
+			return nil, fmt.Errorf("core: BuildReference: cluster %s: %w", c.Path, err)
+		}
+		c.VSum = s
+	}
+	return syn, nil
+}
+
+// BuildTagSynopsis constructs the coarsest structural summary: elements
+// clustered solely by (label, value type). This is the paper's
+// 0KB-structural-budget baseline. Value summaries are built detailed
+// under the configured paths and then belong to tag-level clusters.
+func BuildTagSynopsis(t *xmltree.Tree, opts ReferenceOptions) (*Synopsis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: BuildTagSynopsis: %w", err)
+	}
+	type ckey struct {
+		label string
+		vt    xmltree.ValueType
+	}
+	syn := newSynopsis(t.Dict)
+	clusters := make(map[ckey]*Node)
+	clusterOf := make([]*Node, t.Len())
+	members := make(map[NodeID][]*xmltree.Node)
+	var wanted map[string]bool
+	if opts.ValuePaths != nil {
+		wanted = make(map[string]bool, len(opts.ValuePaths))
+		for _, p := range opts.ValuePaths {
+			wanted[p] = true
+		}
+	}
+	summarize := make(map[NodeID]bool)
+	for _, n := range t.Nodes() {
+		k := ckey{label: n.Label, vt: n.Type}
+		c, ok := clusters[k]
+		if !ok {
+			c = syn.addNode(n.Label, n.Type)
+			c.Path = "~/" + n.Label
+			clusters[k] = c
+		}
+		c.Count++
+		clusterOf[n.ID] = c
+		if n.Type != xmltree.TypeNull && (wanted == nil || wanted[n.Path()]) {
+			members[c.ID] = append(members[c.ID], n)
+			summarize[c.ID] = true
+		}
+	}
+	syn.rootID = clusterOf[t.Root.ID].ID
+	totals := make(map[NodeID]map[NodeID]float64)
+	for _, n := range t.Nodes() {
+		u := clusterOf[n.ID]
+		for _, c := range n.Children {
+			v := clusterOf[c.ID]
+			m := totals[u.ID]
+			if m == nil {
+				m = make(map[NodeID]float64)
+				totals[u.ID] = m
+			}
+			m[v.ID]++
+		}
+	}
+	for uid, m := range totals {
+		u := syn.nodes[uid]
+		for vid, total := range m {
+			syn.setEdge(u, syn.nodes[vid], total/u.Count)
+		}
+	}
+	for id := range summarize {
+		c := syn.nodes[id]
+		s, err := vsum.FromNodes(members[id], opts.Detail)
+		if err != nil {
+			return nil, fmt.Errorf("core: BuildTagSynopsis: cluster %s: %w", c.Label, err)
+		}
+		c.VSum = s
+	}
+	return syn, nil
+}

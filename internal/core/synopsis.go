@@ -1,0 +1,298 @@
+// Package core implements the paper's primary contribution: XCLUSTER
+// synopses. An XCluster synopsis is a type-respecting node-partitioning
+// graph summary of an XML document in which every node represents a
+// structure-value cluster of elements: it stores the cluster cardinality,
+// per-edge average child counts (the structural centroid), and a value
+// summary approximating the distribution of element values in the cluster
+// (the value centroid).
+//
+// The package provides the reference-synopsis construction (a refinement
+// of the lossless count-stable summary), the node-merge and
+// value-compression operations with the localized Δ clustering-error
+// metric, the two-phase XCLUSTERBUILD algorithm, and the
+// embedding-based selectivity estimation framework built on the
+// generalized Path-Value Independence assumption.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xcluster/internal/vsum"
+	"xcluster/internal/xmltree"
+)
+
+// NodeID identifies a synopsis node. IDs are never reused within a
+// synopsis, so stale references (e.g. queued merge candidates whose nodes
+// were already consumed) are detectable.
+type NodeID int
+
+// Node is one structure-value cluster.
+type Node struct {
+	ID    NodeID
+	Label string
+	VType xmltree.ValueType
+	// Count is |extent(u)|, the number of document elements in the
+	// cluster.
+	Count float64
+	// Children maps each child synopsis node to count(u, v): the average
+	// number of v-children per element of u.
+	Children map[NodeID]float64
+	// Parents is the reverse adjacency (ids of nodes with an edge into
+	// this one).
+	Parents map[NodeID]struct{}
+	// VSum summarizes the cluster's value distribution; nil for
+	// structure-only nodes and for value nodes outside the configured
+	// value paths.
+	VSum vsum.Summary
+	// Path is the incoming root label path of the cluster in the
+	// reference synopsis (informational; merged nodes keep the first).
+	Path string
+}
+
+// HasValues reports whether the node carries a value summary.
+func (n *Node) HasValues() bool { return n.VSum != nil }
+
+// Synopsis is an XCluster summary: a directed graph of structure-value
+// clusters plus the document's term dictionary (needed to resolve TEXT
+// predicates during estimation).
+type Synopsis struct {
+	nodes  map[NodeID]*Node
+	rootID NodeID
+	nextID NodeID
+	edges  int // maintained by setEdge/dropEdge; O(1) StructBytes
+	dict   *xmltree.Dict
+}
+
+// Storage accounting (bytes), matching the budget semantics of the
+// paper's experiments: Bstr covers nodes, edges and edge counts; Bval
+// covers the value summaries.
+const (
+	// NodeBytes charges a label id and an element count per node.
+	NodeBytes = 6
+	// EdgeBytes charges a target id and an average child count per edge.
+	EdgeBytes = 8
+)
+
+// newSynopsis returns an empty synopsis bound to dict.
+func newSynopsis(dict *xmltree.Dict) *Synopsis {
+	if dict == nil {
+		dict = xmltree.NewDict()
+	}
+	return &Synopsis{nodes: make(map[NodeID]*Node), rootID: -1, dict: dict}
+}
+
+// addNode creates a node with a fresh id.
+func (s *Synopsis) addNode(label string, vt xmltree.ValueType) *Node {
+	n := &Node{
+		ID:       s.nextID,
+		Label:    label,
+		VType:    vt,
+		Children: make(map[NodeID]float64),
+		Parents:  make(map[NodeID]struct{}),
+	}
+	s.nextID++
+	s.nodes[n.ID] = n
+	return n
+}
+
+// setEdge installs or updates the edge u -> v with the given average
+// child count, maintaining reverse adjacency and the edge counter.
+func (s *Synopsis) setEdge(u, v *Node, avg float64) {
+	if _, ok := u.Children[v.ID]; !ok {
+		s.edges++
+	}
+	u.Children[v.ID] = avg
+	v.Parents[u.ID] = struct{}{}
+}
+
+// dropEdge removes the edge u -> v if present (reverse adjacency is the
+// caller's responsibility when v is being detached wholesale).
+func (s *Synopsis) dropEdge(u *Node, vid NodeID) {
+	if _, ok := u.Children[vid]; ok {
+		delete(u.Children, vid)
+		s.edges--
+	}
+}
+
+// Root returns the synopsis node of the document root element.
+func (s *Synopsis) Root() *Node { return s.nodes[s.rootID] }
+
+// Node returns the node with the given id (nil if absent, e.g. merged
+// away).
+func (s *Synopsis) Node(id NodeID) *Node { return s.nodes[id] }
+
+// Dict returns the term dictionary used for TEXT predicate resolution.
+func (s *Synopsis) Dict() *xmltree.Dict { return s.dict }
+
+// NumNodes returns the number of clusters.
+func (s *Synopsis) NumNodes() int { return len(s.nodes) }
+
+// NumValueNodes returns the number of clusters carrying value summaries.
+func (s *Synopsis) NumValueNodes() int {
+	n := 0
+	for _, u := range s.nodes {
+		if u.HasValues() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumEdges returns the number of synopsis edges.
+func (s *Synopsis) NumEdges() int { return s.edges }
+
+// StructBytes returns the structural storage charge (nodes + edges +
+// edge counts).
+func (s *Synopsis) StructBytes() int {
+	return s.NumNodes()*NodeBytes + s.NumEdges()*EdgeBytes
+}
+
+// ValueBytes returns the total storage charge of all value summaries.
+func (s *Synopsis) ValueBytes() int {
+	n := 0
+	for _, u := range s.nodes {
+		if u.VSum != nil {
+			n += u.VSum.SizeBytes()
+		}
+	}
+	return n
+}
+
+// TotalBytes returns StructBytes + ValueBytes.
+func (s *Synopsis) TotalBytes() int { return s.StructBytes() + s.ValueBytes() }
+
+// Nodes returns the nodes sorted by id (deterministic iteration).
+func (s *Synopsis) Nodes() []*Node {
+	out := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clone deep-copies the synopsis structure. Value summaries are shared:
+// every mutation path in this package replaces a node's summary rather
+// than mutating it, so sharing is safe.
+func (s *Synopsis) Clone() *Synopsis {
+	out := &Synopsis{
+		nodes:  make(map[NodeID]*Node, len(s.nodes)),
+		rootID: s.rootID,
+		nextID: s.nextID,
+		edges:  s.edges,
+		dict:   s.dict,
+	}
+	for id, n := range s.nodes {
+		cp := &Node{
+			ID:       n.ID,
+			Label:    n.Label,
+			VType:    n.VType,
+			Count:    n.Count,
+			Children: make(map[NodeID]float64, len(n.Children)),
+			Parents:  make(map[NodeID]struct{}, len(n.Parents)),
+			VSum:     n.VSum,
+			Path:     n.Path,
+		}
+		for c, avg := range n.Children {
+			cp.Children[c] = avg
+		}
+		for p := range n.Parents {
+			cp.Parents[p] = struct{}{}
+		}
+		out.nodes[id] = cp
+	}
+	return out
+}
+
+// Levels assigns each node its level: the length of the shortest outgoing
+// path to a leaf descendant (leaves are level 0), the bottom-up ordering
+// used by the build_pool heuristic. Nodes on all-cycle paths (no leaf
+// reachable) get level maxInt.
+func (s *Synopsis) Levels() map[NodeID]int {
+	const inf = int(^uint(0) >> 1)
+	lvl := make(map[NodeID]int, len(s.nodes))
+	queue := make([]NodeID, 0, len(s.nodes))
+	for id, n := range s.nodes {
+		if len(n.Children) == 0 {
+			lvl[id] = 0
+			queue = append(queue, id)
+		} else {
+			lvl[id] = inf
+		}
+	}
+	// BFS over reverse edges relaxes level(u) = 1 + min(level(child)).
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for p := range s.nodes[id].Parents {
+			if cand := lvl[id] + 1; cand < lvl[p] {
+				lvl[p] = cand
+				queue = append(queue, p)
+			}
+		}
+	}
+	return lvl
+}
+
+// Validate checks graph invariants: the root exists, adjacency is
+// consistent in both directions, counts and edge averages are
+// non-negative, and value summaries type-check and validate.
+func (s *Synopsis) Validate() error {
+	if s.Root() == nil {
+		return fmt.Errorf("core: synopsis has no root")
+	}
+	recount := 0
+	for id, n := range s.nodes {
+		recount += len(n.Children)
+		if n.ID != id {
+			return fmt.Errorf("core: node %d indexed under %d", n.ID, id)
+		}
+		if n.Count <= 0 {
+			return fmt.Errorf("core: node %d (%s) has count %g", id, n.Label, n.Count)
+		}
+		for c, avg := range n.Children {
+			child := s.nodes[c]
+			if child == nil {
+				return fmt.Errorf("core: node %d has edge to missing node %d", id, c)
+			}
+			if avg < 0 {
+				return fmt.Errorf("core: edge %d->%d has negative count %g", id, c, avg)
+			}
+			if _, ok := child.Parents[id]; !ok {
+				return fmt.Errorf("core: edge %d->%d missing reverse link", id, c)
+			}
+		}
+		for p := range n.Parents {
+			parent := s.nodes[p]
+			if parent == nil {
+				return fmt.Errorf("core: node %d has missing parent %d", id, p)
+			}
+			if _, ok := parent.Children[id]; !ok {
+				return fmt.Errorf("core: parent link %d->%d without edge", p, id)
+			}
+		}
+		if n.VSum != nil {
+			if n.VSum.Type() != n.VType {
+				return fmt.Errorf("core: node %d type %v has %v summary", id, n.VType, n.VSum.Type())
+			}
+			if err := n.VSum.Validate(); err != nil {
+				return fmt.Errorf("core: node %d summary: %w", id, err)
+			}
+		}
+	}
+	if recount != s.edges {
+		return fmt.Errorf("core: edge counter %d, actual edges %d", s.edges, recount)
+	}
+	return nil
+}
+
+// TotalExtent returns the sum of cluster cardinalities (equals the
+// document element count for a lossless partition).
+func (s *Synopsis) TotalExtent() float64 {
+	total := 0.0
+	for _, n := range s.nodes {
+		total += n.Count
+	}
+	return total
+}

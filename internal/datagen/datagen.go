@@ -1,0 +1,131 @@
+// Package datagen produces the two seeded synthetic XML data sets of the
+// experimental study. The paper evaluates on a subset of the real-life
+// IMDB database and on the XMark benchmark; neither is redistributable
+// here, so the generators reproduce the statistical properties the
+// experiments depend on — element-count scale, mixed NUMERIC / STRING /
+// TEXT content under fixed value paths, Zipf-skewed fan-outs and value
+// distributions, structural heterogeneity (optional sections, recursive
+// description trees), and deliberate path-to-value correlations — as
+// documented in DESIGN.md.
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// gen wraps a seeded source with the sampling helpers the two generators
+// share.
+type gen struct {
+	r *rand.Rand
+}
+
+func newGen(seed int64) *gen {
+	return &gen{r: rand.New(rand.NewSource(seed))}
+}
+
+// pick returns a uniformly random element of list.
+func (g *gen) pick(list []string) string {
+	return list[g.r.Intn(len(list))]
+}
+
+// zipfIndex returns an index in [0, n) with a Zipf(s=1.1) skew toward 0.
+func (g *gen) zipfIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(g.r, 1.1, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// zipfPick returns a Zipf-skewed element of list (earlier entries are
+// more frequent).
+func (g *gen) zipfPick(list []string) string {
+	return list[g.zipfIndex(len(list))]
+}
+
+// title assembles a 1-4 word title such as "The Silent River Returns".
+func (g *gen) title() string {
+	n := 1 + g.r.Intn(3)
+	parts := make([]string, 0, n+1)
+	if g.r.Intn(3) == 0 {
+		parts = append(parts, "The")
+	}
+	for i := 0; i < n; i++ {
+		parts = append(parts, g.zipfPick(titleWords))
+	}
+	return strings.Join(parts, " ")
+}
+
+// showTitle assembles a TV-show title such as "The Weekly Report", drawn
+// from a vocabulary disjoint from movie titles: when the tag-level
+// synopsis merges the two title clusters, its pooled substring
+// distribution misestimates both, which finer structure budgets repair
+// (the Figure 8a string series).
+func (g *gen) showTitle() string {
+	parts := []string{}
+	if g.r.Intn(2) == 0 {
+		parts = append(parts, "The")
+	}
+	parts = append(parts, g.zipfPick(showWords), g.zipfPick(showWords))
+	return strings.Join(parts, " ")
+}
+
+// itemName assembles an auction-item name such as "Vintage Brass Compass".
+func (g *gen) itemName() string {
+	n := 2 + g.r.Intn(2)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.zipfPick(itemWords)
+	}
+	return strings.Join(parts, " ")
+}
+
+// personName assembles "First Last" with Zipf-skewed name frequencies
+// (as in real name distributions), so pruned suffix trees that retain the
+// high-count substrings keep most of the probability mass.
+func (g *gen) personName() string {
+	return g.zipfPick(firstNames) + " " + g.zipfPick(lastNames)
+}
+
+// text assembles a free-text snippet of roughly n terms drawn with Zipf
+// skew from base plus (optionally) a genre vocabulary.
+func (g *gen) text(n int, base []string, extra []string) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if extra != nil && g.r.Intn(3) == 0 {
+			sb.WriteString(g.zipfPick(extra))
+		} else {
+			sb.WriteString(g.zipfPick(base))
+		}
+	}
+	return sb.String()
+}
+
+// yearFor correlates publication years with genres: older genres skew
+// earlier, newer genres later. This is a deliberate path/value
+// correlation the reference synopsis (one incoming path per cluster) can
+// capture and the tag-level baseline cannot.
+func (g *gen) yearFor(genre string) int {
+	base := 1960
+	switch genre {
+	case "drama":
+		base = 1950
+	case "comedy":
+		base = 1970
+	case "action", "thriller":
+		base = 1985
+	case "scifi", "horror":
+		base = 1995
+	}
+	span := 2005 - base
+	// Triangular-ish skew toward the recent end.
+	a, b := g.r.Intn(span+1), g.r.Intn(span+1)
+	if a < b {
+		a = b
+	}
+	return base + a
+}

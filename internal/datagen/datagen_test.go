@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"testing"
+
+	"xcluster/internal/xmltree"
+)
+
+func TestIMDBDeterministic(t *testing.T) {
+	a := IMDB(IMDBConfig{Seed: 7, Movies: 50, Shows: 20})
+	b := IMDB(IMDBConfig{Seed: 7, Movies: 50, Shows: 20})
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	c := IMDB(IMDBConfig{Seed: 8, Movies: 50, Shows: 20})
+	sa, sc := a.ComputeStats(), c.ComputeStats()
+	if a.Len() == c.Len() && sa.ValueNodes == sc.ValueNodes && sa.Terms == sc.Terms {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestIMDBShape(t *testing.T) {
+	tr := IMDB(IMDBConfig{Seed: 1, Movies: 200, Shows: 60})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if st.Elements < 1500 {
+		t.Fatalf("too few elements: %d", st.Elements)
+	}
+	// All three value types are present.
+	for _, vt := range []xmltree.ValueType{xmltree.TypeNumeric, xmltree.TypeString, xmltree.TypeText} {
+		if st.ByType[vt] == 0 {
+			t.Errorf("no %v values", vt)
+		}
+	}
+	// Every declared value path exists with the right type.
+	wantType := map[string]xmltree.ValueType{
+		"/imdb/movie/title":           xmltree.TypeString,
+		"/imdb/movie/year":            xmltree.TypeNumeric,
+		"/imdb/movie/plot":            xmltree.TypeText,
+		"/imdb/movie/cast/actor/name": xmltree.TypeString,
+		"/imdb/show/title":            xmltree.TypeString,
+		"/imdb/show/year":             xmltree.TypeNumeric,
+		"/imdb/show/plot":             xmltree.TypeText,
+	}
+	if len(IMDBValuePaths()) != 7 {
+		t.Fatalf("IMDB value paths = %d, want 7", len(IMDBValuePaths()))
+	}
+	for _, p := range IMDBValuePaths() {
+		nodes := tr.PathNodes(p)
+		if len(nodes) == 0 {
+			t.Errorf("value path %s empty", p)
+			continue
+		}
+		if nodes[0].Type != wantType[p] {
+			t.Errorf("path %s has type %v, want %v", p, nodes[0].Type, wantType[p])
+		}
+	}
+	// Genre-year correlation: average drama year < average scifi year.
+	sum := map[string]float64{}
+	cnt := map[string]float64{}
+	for _, m := range tr.PathNodes("/imdb/movie") {
+		var genre string
+		var year int
+		for _, c := range m.Children {
+			switch c.Label {
+			case "genre":
+				genre = c.Str
+			case "year":
+				year = c.Num
+			}
+		}
+		sum[genre] += float64(year)
+		cnt[genre]++
+	}
+	if cnt["drama"] > 5 && cnt["scifi"] > 5 {
+		if sum["drama"]/cnt["drama"] >= sum["scifi"]/cnt["scifi"] {
+			t.Errorf("genre-year correlation missing: drama %g vs scifi %g",
+				sum["drama"]/cnt["drama"], sum["scifi"]/cnt["scifi"])
+		}
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	tr := XMark(XMarkConfig{Seed: 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if st.Elements < 5000 {
+		t.Fatalf("too few elements: %d", st.Elements)
+	}
+	if len(XMarkValuePaths()) != 9 {
+		t.Fatalf("XMark value paths = %d, want 9", len(XMarkValuePaths()))
+	}
+	for _, p := range XMarkValuePaths() {
+		if len(tr.PathNodes(p)) == 0 {
+			t.Errorf("value path %s empty", p)
+		}
+	}
+	// Recursive descriptions: nested parlist paths must exist.
+	nested := tr.PathNodes("/site/regions/region/item/description/parlist/listitem/description/text")
+	if len(nested) == 0 {
+		t.Error("no recursive description structure generated")
+	}
+	// XMark root structure.
+	if tr.Root.Label != "site" {
+		t.Fatalf("root = %s", tr.Root.Label)
+	}
+	sections := map[string]bool{}
+	for _, c := range tr.Root.Children {
+		sections[c.Label] = true
+	}
+	for _, want := range []string{"regions", "people", "open_auctions", "closed_auctions", "categories"} {
+		if !sections[want] {
+			t.Errorf("missing section %s", want)
+		}
+	}
+}
+
+func TestXMarkScale(t *testing.T) {
+	small := XMark(XMarkConfig{Seed: 3, Scale: 0.5})
+	big := XMark(XMarkConfig{Seed: 3, Scale: 2})
+	if big.Len() <= small.Len()*2 {
+		t.Fatalf("scaling broken: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestIMDBScale(t *testing.T) {
+	small := IMDB(IMDBConfig{Seed: 3, Scale: 0.5})
+	big := IMDB(IMDBConfig{Seed: 3, Scale: 2})
+	if big.Len() <= small.Len()*2 {
+		t.Fatalf("scaling broken: %d vs %d", small.Len(), big.Len())
+	}
+}

@@ -1,0 +1,136 @@
+package datagen
+
+import "xcluster/internal/xmltree"
+
+// IMDBConfig sizes the IMDB-like generator. The zero value is upgraded to
+// defaults producing roughly 12,000 elements; Scale multiplies the movie
+// and show counts (Scale 20 approximates the paper's 236,822-element
+// subset).
+type IMDBConfig struct {
+	Seed   int64
+	Movies int
+	Shows  int
+	Scale  float64
+}
+
+func (c IMDBConfig) withDefaults() IMDBConfig {
+	if c.Movies == 0 {
+		c.Movies = 800
+	}
+	if c.Shows == 0 {
+		c.Shows = 400
+	}
+	if c.Scale > 0 {
+		c.Movies = int(float64(c.Movies) * c.Scale)
+		c.Shows = int(float64(c.Shows) * c.Scale)
+	}
+	return c
+}
+
+// IMDBValuePaths returns the seven value paths summarized in the IMDB
+// experiments, mirroring the paper's "total of 7 paths for IMDB".
+func IMDBValuePaths() []string {
+	return []string{
+		"/imdb/movie/title",
+		"/imdb/movie/year",
+		"/imdb/movie/plot",
+		"/imdb/movie/cast/actor/name",
+		"/imdb/show/title",
+		"/imdb/show/year",
+		"/imdb/show/plot",
+	}
+}
+
+// IMDB generates a movie-database document: movies (title, year, genre,
+// plot, cast of actors, optional awards) and TV shows (title, year,
+// seasons, summary). Structure and values are heterogeneous: cast sizes
+// are Zipf-skewed, award sections appear on a minority of movies, years
+// and plot vocabulary correlate with genre.
+func IMDB(cfg IMDBConfig) *xmltree.Tree {
+	cfg = cfg.withDefaults()
+	g := newGen(cfg.Seed)
+	b := xmltree.NewBuilder(nil)
+	b.Open("imdb")
+	for i := 0; i < cfg.Movies; i++ {
+		genre := g.zipfPick(genres)
+		year := g.yearFor(genre)
+		// Correlations the tag-level baseline cannot see: awarded movies
+		// are disproportionately recent dramas with large casts.
+		awarded := g.r.Intn(5) == 0
+		if genre == "drama" && year > 1990 {
+			awarded = awarded || g.r.Intn(3) == 0
+		}
+		b.Open("movie")
+		b.String("title", g.title())
+		b.Numeric("year", year)
+		b.String("genre", genre)
+		b.Text("plot", g.text(8+g.r.Intn(18), commonTerms, genreTerms[genre]))
+		b.Open("cast")
+		nActors := 1 + g.zipfIndex(6)
+		if awarded {
+			nActors += 2 + g.r.Intn(4)
+		}
+		for a := 0; a < nActors; a++ {
+			b.Open("actor")
+			b.String("name", g.personName())
+			if a == 0 && nActors > 2 {
+				b.Empty("star") // leading-role marker: structural variation
+			}
+			b.Close()
+		}
+		b.Close()
+		if g.r.Intn(3) == 0 {
+			b.Open("crew")
+			b.Open("director")
+			b.String("dname", g.personName())
+			b.Close()
+			if g.r.Intn(2) == 0 {
+				b.Open("writer")
+				b.String("dname", g.personName())
+				b.Close()
+			}
+			b.Close()
+		}
+		if awarded {
+			b.Open("awards")
+			for w := 0; w <= g.r.Intn(3); w++ {
+				b.Empty("award")
+			}
+			b.Close()
+		}
+		if year > 1995 && g.r.Intn(2) == 0 {
+			b.Open("releases")
+			for rel := 0; rel <= g.r.Intn(3); rel++ {
+				b.Empty("release")
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	for i := 0; i < cfg.Shows; i++ {
+		// Correlation: networked shows run much longer.
+		networked := g.r.Intn(3) != 0
+		seasons := 1 + g.zipfIndex(4)
+		if networked {
+			seasons += g.zipfIndex(10)
+		}
+		b.Open("show")
+		b.String("title", g.showTitle())
+		b.Numeric("year", 1980+g.r.Intn(26))
+		b.Numeric("seasons", seasons)
+		// Shows carry a plot too; at the tag level it merges with movie
+		// plots (whose vocabulary is genre-flavored), blurring both.
+		b.Text("plot", g.text(6+g.r.Intn(12), commonTerms, showWords))
+		if networked {
+			b.Open("network")
+			b.Empty("channel")
+			if g.r.Intn(3) == 0 {
+				b.Empty("syndicated")
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Tree()
+}

@@ -1,0 +1,213 @@
+package datagen
+
+import "xcluster/internal/xmltree"
+
+// XMarkConfig sizes the XMark-like generator. The zero value is upgraded
+// to defaults producing roughly 13,000 elements; Scale multiplies all
+// entity counts (Scale 16 approximates the paper's 206,130-element
+// document).
+type XMarkConfig struct {
+	Seed       int64
+	Items      int
+	People     int
+	Open       int
+	Closed     int
+	Categories int
+	Scale      float64
+}
+
+func (c XMarkConfig) withDefaults() XMarkConfig {
+	if c.Items == 0 {
+		c.Items = 400
+	}
+	if c.People == 0 {
+		c.People = 500
+	}
+	if c.Open == 0 {
+		c.Open = 240
+	}
+	if c.Closed == 0 {
+		c.Closed = 160
+	}
+	if c.Categories == 0 {
+		c.Categories = 40
+	}
+	if c.Scale > 0 {
+		c.Items = int(float64(c.Items) * c.Scale)
+		c.People = int(float64(c.People) * c.Scale)
+		c.Open = int(float64(c.Open) * c.Scale)
+		c.Closed = int(float64(c.Closed) * c.Scale)
+		c.Categories = int(float64(c.Categories) * c.Scale)
+	}
+	return c
+}
+
+// XMarkValuePaths returns the nine value paths summarized in the XMark
+// experiments, mirroring the paper's "9 for XMark".
+func XMarkValuePaths() []string {
+	return []string{
+		"/site/regions/region/item/name",
+		"/site/regions/region/item/quantity",
+		"/site/regions/region/item/description/text",
+		"/site/people/person/name",
+		"/site/people/person/profile/age",
+		"/site/people/person/profile/income",
+		"/site/open_auctions/open_auction/initial",
+		"/site/open_auctions/open_auction/bidder/increase",
+		"/site/open_auctions/open_auction/annotation/description/text",
+	}
+}
+
+// XMark generates an auction-site document following the published XMark
+// schema: regions with items, registered people with profiles, open
+// auctions with bidder histories, closed auctions, and categories.
+// Descriptions are recursive parlist/listitem trees (the source of
+// XMark's structural heterogeneity) terminating in TEXT leaves; TEXT
+// terms are low-selectivity (a large vocabulary over short snippets),
+// which reproduces the paper's Figure 8(b)/9 observation that XMark TEXT
+// predicates have tiny true selectivities.
+func XMark(cfg XMarkConfig) *xmltree.Tree {
+	cfg = cfg.withDefaults()
+	g := newGen(cfg.Seed)
+	b := xmltree.NewBuilder(nil)
+	b.Open("site")
+
+	// description emits a description subtree: a text leaf, optionally
+	// wrapped in recursive parlist/listitem structure of depth <= 2.
+	var description func(depth int)
+	description = func(depth int) {
+		b.Open("description")
+		if depth < 2 && g.r.Intn(3) == 0 {
+			b.Open("parlist")
+			n := 1 + g.r.Intn(2)
+			for i := 0; i < n; i++ {
+				b.Open("listitem")
+				description(depth + 1)
+				b.Close()
+			}
+			b.Close()
+		} else {
+			b.Text("text", g.text(12+g.r.Intn(25), xmarkTextTerms, nil))
+		}
+		b.Close()
+	}
+
+	b.Open("regions")
+	perRegion := cfg.Items / len(regionNames)
+	for ri, region := range regionNames {
+		b.Open("region")
+		b.String("rname", region)
+		n := perRegion
+		if ri == 0 {
+			n += cfg.Items - perRegion*len(regionNames)
+		}
+		for i := 0; i < n; i++ {
+			// Correlation: early regions (big markets) list bulk items.
+			quantity := 1 + g.zipfIndex(20)
+			if ri < 2 {
+				quantity += g.r.Intn(10)
+			}
+			b.Open("item")
+			b.String("name", g.itemName())
+			b.Numeric("quantity", quantity)
+			description(0)
+			if quantity > 5 {
+				b.Empty("payment") // bulk items have payment terms
+			}
+			if g.r.Intn(3) == 0 {
+				b.Empty("shipping")
+			}
+			if g.r.Intn(5) == 0 {
+				b.Open("mailbox")
+				for m := 0; m <= g.r.Intn(3); m++ {
+					b.Empty("mail")
+				}
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("people")
+	for i := 0; i < cfg.People; i++ {
+		b.Open("person")
+		b.String("name", g.personName())
+		if g.r.Intn(4) != 0 {
+			b.String("emailaddress", "mailto:"+g.pick(lastNames)+"@example.com")
+		}
+		if g.r.Intn(3) != 0 { // profiles are optional, as in XMark
+			b.Open("profile")
+			b.Numeric("age", 18+g.zipfIndex(60))
+			b.Numeric("income", 20000+100*g.zipfIndex(2000))
+			nInt := g.zipfIndex(5)
+			for k := 0; k < nInt; k++ {
+				b.Open("interest")
+				b.String("category", g.zipfPick(interestCategories))
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("open_auctions")
+	for i := 0; i < cfg.Open; i++ {
+		// Correlation: high-value auctions attract long bidder
+		// histories with large increments.
+		initial := 1 + g.zipfIndex(500)
+		nBids := g.zipfIndex(6)
+		if initial > 100 {
+			nBids += 2 + g.zipfIndex(8)
+		}
+		b.Open("open_auction")
+		b.Numeric("initial", initial)
+		for k := 0; k < nBids; k++ {
+			b.Open("bidder")
+			inc := 1 + g.zipfIndex(30)
+			if initial > 100 {
+				inc += 10 + g.r.Intn(20)
+			}
+			b.Numeric("increase", inc)
+			if g.r.Intn(4) == 0 {
+				b.Empty("personref")
+			}
+			b.Close()
+		}
+		b.Open("annotation")
+		description(0)
+		b.Close()
+		b.Empty("itemref")
+		b.Empty("seller")
+		if g.r.Intn(3) == 0 {
+			b.Empty("privacy")
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("closed_auctions")
+	for i := 0; i < cfg.Closed; i++ {
+		b.Open("closed_auction")
+		b.Numeric("price", 1+g.zipfIndex(800))
+		b.Empty("buyer")
+		b.Empty("seller")
+		b.Empty("itemref")
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("categories")
+	for i := 0; i < cfg.Categories; i++ {
+		b.Open("category")
+		b.String("cname", g.title())
+		b.Text("cdescription", g.text(4+g.r.Intn(6), xmarkTextTerms, nil))
+		b.Close()
+	}
+	b.Close()
+
+	b.Close()
+	return b.Tree()
+}

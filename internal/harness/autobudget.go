@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"xcluster/internal/core"
+	"xcluster/internal/workload"
+)
+
+// AutoBudgetRow compares one structural/value split of a unified budget.
+type AutoBudgetRow struct {
+	Dataset string
+	Split   string
+	Bstr    int
+	// Overall is the average relative error on the held-out workload
+	// (queries not shown to the auto-allocation search).
+	Overall float64
+}
+
+// AutoBudgetExperiment exercises the Section 4.3 future-work extension:
+// given one total budget, it compares fixed structural/value splits with
+// the split chosen by core.AutoAllocate. The search sees every fourth
+// workload query (the "sample workload" of the paper's sketch); all rows
+// are scored on the remaining held-out queries, so the auto row cannot
+// win by overfitting its sample.
+func AutoBudgetExperiment(d *Dataset, cfg Config) ([]AutoBudgetRow, error) {
+	cfg = cfg.forDataset(d.Name)
+	budgets := cfg.StructBudgets(d)
+	total := budgets[len(budgets)-1] + cfg.ValueBudget(d)
+
+	var sample, holdout []workload.Query
+	for i, q := range d.Workload.Queries {
+		if i%4 == 0 {
+			sample = append(sample, q)
+		} else {
+			holdout = append(holdout, q)
+		}
+	}
+	holdoutW := &workload.Workload{Queries: holdout}
+	sanity := holdoutW.SanityBound()
+
+	scoreOn := func(qs []workload.Query, s *core.Synopsis) float64 {
+		est := core.NewEstimator(s)
+		return workload.AvgRelError(qs, est.Selectivity, sanity)
+	}
+
+	var rows []AutoBudgetRow
+	for _, frac := range []float64{0.1, 0.3, 0.5} {
+		bstr := int(frac * float64(total))
+		s, err := core.XClusterBuild(d.Ref, core.BuildOptions{
+			StructBudget: bstr, ValueBudget: total - bstr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AutoBudgetRow{
+			Dataset: d.Name,
+			Split:   fmt.Sprintf("fixed %2.0f%% struct", frac*100),
+			Bstr:    bstr,
+			Overall: scoreOn(holdout, s),
+		})
+	}
+
+	s, bstr, _, err := core.AutoAllocate(d.Ref, total,
+		func(s *core.Synopsis) float64 { return scoreOn(sample, s) },
+		core.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AutoBudgetRow{
+		Dataset: d.Name,
+		Split:   "auto (sample-guided)",
+		Bstr:    bstr,
+		Overall: scoreOn(holdout, s),
+	})
+	return rows, nil
+}
+
+// FormatAutoBudget renders the comparison.
+func FormatAutoBudget(rows []AutoBudgetRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Auto budget allocation (one unified budget; held-out workload error)\n")
+	fmt.Fprintf(&sb, "%-8s %-22s %10s %12s\n", "Dataset", "split", "Bstr(B)", "overall err")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-22s %10d %11.1f%%\n", r.Dataset, r.Split, r.Bstr, r.Overall*100)
+	}
+	return sb.String()
+}

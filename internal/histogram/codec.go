@@ -1,0 +1,24 @@
+package histogram
+
+import "xcluster/internal/wire"
+
+// Encode writes the histogram: total, then per-bucket bounds and counts.
+func (h *Histogram) Encode(w *wire.Writer) {
+	w.Float(h.total)
+	w.Uint(uint64(len(h.buckets)))
+	for _, b := range h.buckets {
+		w.Int(b.Lo)
+		w.Int(b.Hi)
+		w.Float(b.Count)
+	}
+}
+
+// Decode reads a histogram written by Encode.
+func Decode(r *wire.Reader) *Histogram {
+	h := &Histogram{total: r.Float()}
+	n := int(r.Uint())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		h.buckets = append(h.buckets, Bucket{Lo: r.Int(), Hi: r.Int(), Count: r.Float()})
+	}
+	return h
+}

@@ -1,0 +1,337 @@
+// Package histogram implements bucketized frequency summaries for the
+// NUMERIC values of XCluster nodes: construction from raw values, range
+// selectivity estimation under the conventional continuous-interpolation
+// uniformity assumption, bucket alignment and merging (used when two
+// synopsis nodes are fused), and adjacent-bucket compression (the paper's
+// hist_cmprs operation).
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket covers the inclusive integer range [Lo, Hi] and holds Count
+// values. Counts become fractional after alignment splits.
+type Bucket struct {
+	Lo, Hi int
+	Count  float64
+}
+
+func (b Bucket) width() float64 { return float64(b.Hi - b.Lo + 1) }
+
+// Histogram is an ordered sequence of non-overlapping buckets. The zero
+// value summarizes an empty collection.
+type Histogram struct {
+	buckets []Bucket
+	total   float64
+}
+
+// BucketBytes is the storage charged per bucket (two boundaries plus a
+// count) by the synopsis size accounting.
+const BucketBytes = 8
+
+// Build constructs a histogram over values with at most maxBuckets
+// buckets. Buckets are equi-depth over the sorted values, with boundary
+// snapping so equal values never straddle buckets. maxBuckets <= 0 means
+// one bucket per distinct value (the detailed form used by the reference
+// synopsis).
+func Build(values []int, maxBuckets int) *Histogram {
+	if len(values) == 0 {
+		return &Histogram{}
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+
+	// Distinct values with frequencies.
+	type vf struct {
+		v int
+		f float64
+	}
+	var dist []vf
+	for _, v := range sorted {
+		if n := len(dist); n > 0 && dist[n-1].v == v {
+			dist[n-1].f++
+		} else {
+			dist = append(dist, vf{v: v, f: 1})
+		}
+	}
+
+	h := &Histogram{total: float64(len(sorted))}
+	if maxBuckets <= 0 || maxBuckets >= len(dist) {
+		for _, d := range dist {
+			h.buckets = append(h.buckets, Bucket{Lo: d.v, Hi: d.v, Count: d.f})
+		}
+		return h
+	}
+
+	// Equi-depth over distinct values: close a bucket when its count
+	// reaches total/maxBuckets.
+	target := h.total / float64(maxBuckets)
+	cur := Bucket{Lo: dist[0].v, Hi: dist[0].v}
+	remaining := maxBuckets
+	for i, d := range dist {
+		cur.Hi = d.v
+		cur.Count += d.f
+		left := len(dist) - i - 1
+		if (cur.Count >= target && remaining > 1 && left > 0) || left == 0 {
+			h.buckets = append(h.buckets, cur)
+			remaining--
+			if left > 0 {
+				cur = Bucket{Lo: dist[i+1].v, Hi: dist[i+1].v}
+			}
+		}
+	}
+	return h
+}
+
+// BuildMaxDiff constructs a histogram over values with at most maxBuckets
+// buckets using MaxDiff(V,F) boundary placement (Poosala, Ioannidis, Haas
+// and Shekita, SIGMOD'96 — the paper's reference for improved range-
+// predicate histograms): bucket boundaries are inserted at the
+// maxBuckets-1 largest adjacent frequency differences of the sorted
+// distinct values, so spikes get isolated into their own buckets.
+// maxBuckets <= 0 falls back to the detailed form.
+func BuildMaxDiff(values []int, maxBuckets int) *Histogram {
+	if len(values) == 0 {
+		return &Histogram{}
+	}
+	if maxBuckets <= 0 {
+		return Build(values, 0)
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	type vf struct {
+		v int
+		f float64
+	}
+	var dist []vf
+	for _, v := range sorted {
+		if n := len(dist); n > 0 && dist[n-1].v == v {
+			dist[n-1].f++
+		} else {
+			dist = append(dist, vf{v: v, f: 1})
+		}
+	}
+	if maxBuckets >= len(dist) {
+		return Build(values, 0)
+	}
+	// Rank gaps between adjacent distinct values by |Δfrequency|.
+	type gap struct {
+		idx  int // boundary after dist[idx]
+		diff float64
+	}
+	gaps := make([]gap, 0, len(dist)-1)
+	for i := 0; i+1 < len(dist); i++ {
+		gaps = append(gaps, gap{idx: i, diff: math.Abs(dist[i+1].f - dist[i].f)})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].diff != gaps[j].diff {
+			return gaps[i].diff > gaps[j].diff
+		}
+		return gaps[i].idx < gaps[j].idx
+	})
+	cut := make(map[int]bool, maxBuckets-1)
+	for i := 0; i < maxBuckets-1 && i < len(gaps); i++ {
+		cut[gaps[i].idx] = true
+	}
+	h := &Histogram{total: float64(len(sorted))}
+	cur := Bucket{Lo: dist[0].v, Hi: dist[0].v}
+	for i, d := range dist {
+		cur.Hi = d.v
+		cur.Count += d.f
+		if cut[i] || i == len(dist)-1 {
+			h.buckets = append(h.buckets, cur)
+			if i+1 < len(dist) {
+				cur = Bucket{Lo: dist[i+1].v, Hi: dist[i+1].v}
+			}
+		}
+	}
+	return h
+}
+
+// Total returns the number of summarized values.
+func (h *Histogram) Total() float64 { return h.total }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// SizeBytes returns the storage charge of the histogram.
+func (h *Histogram) SizeBytes() int { return len(h.buckets) * BucketBytes }
+
+// Buckets returns a copy of the buckets (for inspection and tests).
+func (h *Histogram) Buckets() []Bucket { return append([]Bucket(nil), h.buckets...) }
+
+// Bounds returns the [min,max] domain covered; ok is false when empty.
+func (h *Histogram) Bounds() (lo, hi int, ok bool) {
+	if len(h.buckets) == 0 {
+		return 0, 0, false
+	}
+	return h.buckets[0].Lo, h.buckets[len(h.buckets)-1].Hi, true
+}
+
+// EstimateRange returns the estimated number of values in [lo, hi] under
+// the uniformity assumption within each bucket.
+func (h *Histogram) EstimateRange(lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	est := 0.0
+	for _, b := range h.buckets {
+		if b.Hi < lo || b.Lo > hi {
+			continue
+		}
+		ovLo, ovHi := max(lo, b.Lo), min(hi, b.Hi)
+		est += b.Count * float64(ovHi-ovLo+1) / b.width()
+	}
+	return est
+}
+
+// Selectivity returns the fraction of values in [lo, hi].
+func (h *Histogram) Selectivity(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.EstimateRange(lo, hi) / h.total
+}
+
+// Boundaries returns the sorted upper bucket boundaries; these are the
+// atomic prefix-range predicates [min, h] of the Δ metric.
+func (h *Histogram) Boundaries() []int {
+	out := make([]int, len(h.buckets))
+	for i, b := range h.buckets {
+		out[i] = b.Hi
+	}
+	return out
+}
+
+// Merge fuses two histograms into a summary of the union of their value
+// collections: boundaries are aligned (splitting counts uniformly) and
+// aligned bucket counts are summed — the paper's NUMERIC fusion f().
+func Merge(a, b *Histogram) *Histogram {
+	if a == nil || len(a.buckets) == 0 {
+		return b.clone()
+	}
+	if b == nil || len(b.buckets) == 0 {
+		return a.clone()
+	}
+	// Collect the union of boundary edges. Each bucket [Lo,Hi] induces
+	// edges Lo and Hi+1 on the integer line.
+	edgeSet := make(map[int]struct{})
+	for _, h := range []*Histogram{a, b} {
+		for _, bk := range h.buckets {
+			edgeSet[bk.Lo] = struct{}{}
+			edgeSet[bk.Hi+1] = struct{}{}
+		}
+	}
+	edges := make([]int, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Ints(edges)
+
+	out := &Histogram{total: a.total + b.total}
+	for i := 0; i+1 < len(edges); i++ {
+		lo, hi := edges[i], edges[i+1]-1
+		c := a.EstimateRange(lo, hi) + b.EstimateRange(lo, hi)
+		if c > 0 {
+			out.buckets = append(out.buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	out.coalesceZeroGaps()
+	return out
+}
+
+// coalesceZeroGaps merges adjacent buckets whose union loses no
+// information (identical density), keeping merged histograms small.
+func (h *Histogram) coalesceZeroGaps() {
+	if len(h.buckets) < 2 {
+		return
+	}
+	out := h.buckets[:1]
+	for _, b := range h.buckets[1:] {
+		last := &out[len(out)-1]
+		// Merge exactly-adjacent buckets with equal density.
+		if last.Hi+1 == b.Lo {
+			d1 := last.Count / last.width()
+			d2 := b.Count / b.width()
+			if math.Abs(d1-d2) < 1e-12 {
+				last.Hi = b.Hi
+				last.Count += b.Count
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	h.buckets = out
+}
+
+func (h *Histogram) clone() *Histogram {
+	if h == nil {
+		return &Histogram{}
+	}
+	return &Histogram{buckets: append([]Bucket(nil), h.buckets...), total: h.total}
+}
+
+// MergeAdjacent returns a copy of h with buckets i and i+1 fused into one
+// bucket spanning both ranges (counts summed). It panics on a bad index.
+func (h *Histogram) MergeAdjacent(i int) *Histogram {
+	if i < 0 || i+1 >= len(h.buckets) {
+		panic(fmt.Sprintf("histogram: MergeAdjacent(%d) with %d buckets", i, len(h.buckets)))
+	}
+	out := h.clone()
+	a, b := out.buckets[i], out.buckets[i+1]
+	out.buckets[i] = Bucket{Lo: a.Lo, Hi: b.Hi, Count: a.Count + b.Count}
+	out.buckets = append(out.buckets[:i+1], out.buckets[i+2:]...)
+	return out
+}
+
+// CompressOnce performs one hist_cmprs step (b=1): it fuses the adjacent
+// bucket pair whose merge least perturbs the atomic prefix-range
+// estimates, returning the compressed copy. ok is false when fewer than
+// two buckets remain.
+func (h *Histogram) CompressOnce() (*Histogram, bool) {
+	if len(h.buckets) < 2 {
+		return h, false
+	}
+	bestI, bestErr := -1, math.Inf(1)
+	for i := 0; i+1 < len(h.buckets); i++ {
+		a, b := h.buckets[i], h.buckets[i+1]
+		// Merging [aLo,aHi] and [bLo,bHi] only changes estimates for
+		// prefix ranges ending inside the union; the squared error of
+		// the atomic predicate at the internal boundary captures it.
+		merged := Bucket{Lo: a.Lo, Hi: b.Hi, Count: a.Count + b.Count}
+		before := a.Count
+		after := merged.Count * float64(a.Hi-a.Lo+1) / merged.width()
+		d := before - after
+		err := d * d
+		if err < bestErr {
+			bestErr = err
+			bestI = i
+		}
+	}
+	return h.MergeAdjacent(bestI), true
+}
+
+// Validate checks internal invariants: ordered, non-overlapping buckets
+// with non-negative counts summing to Total.
+func (h *Histogram) Validate() error {
+	sum := 0.0
+	for i, b := range h.buckets {
+		if b.Hi < b.Lo {
+			return fmt.Errorf("histogram: bucket %d has inverted range [%d,%d]", i, b.Lo, b.Hi)
+		}
+		if b.Count < 0 {
+			return fmt.Errorf("histogram: bucket %d has negative count", i)
+		}
+		if i > 0 && h.buckets[i-1].Hi >= b.Lo {
+			return fmt.Errorf("histogram: buckets %d and %d overlap", i-1, i)
+		}
+		sum += b.Count
+	}
+	if math.Abs(sum-h.total) > 1e-6*math.Max(1, h.total) {
+		return fmt.Errorf("histogram: bucket counts sum to %g, total is %g", sum, h.total)
+	}
+	return nil
+}

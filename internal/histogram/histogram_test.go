@@ -1,0 +1,346 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := Build(nil, 10)
+	if h.Total() != 0 || h.NumBuckets() != 0 {
+		t.Fatalf("empty histogram: total=%g buckets=%d", h.Total(), h.NumBuckets())
+	}
+	if got := h.EstimateRange(0, 100); got != 0 {
+		t.Fatalf("EstimateRange on empty = %g", got)
+	}
+	if got := h.Selectivity(0, 100); got != 0 {
+		t.Fatalf("Selectivity on empty = %g", got)
+	}
+}
+
+func TestDetailedIsExact(t *testing.T) {
+	vals := []int{1, 1, 2, 5, 5, 5, 9}
+	h := Build(vals, 0) // detailed: one bucket per distinct value
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", h.NumBuckets())
+	}
+	cases := []struct {
+		lo, hi int
+		want   float64
+	}{
+		{1, 1, 2}, {2, 2, 1}, {5, 5, 3}, {9, 9, 1},
+		{0, 0, 0}, {3, 4, 0}, {1, 9, 7}, {2, 5, 4}, {6, 8, 0},
+	}
+	for _, c := range cases {
+		if got := h.EstimateRange(c.lo, c.hi); got != c.want {
+			t.Errorf("EstimateRange(%d,%d) = %g, want %g", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestEquiDepthRespectsBudget(t *testing.T) {
+	vals := make([]int, 1000)
+	for i := range vals {
+		vals[i] = i % 97
+	}
+	for _, mb := range []int{1, 2, 5, 10, 50} {
+		h := Build(vals, mb)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("maxBuckets=%d: %v", mb, err)
+		}
+		if h.NumBuckets() > mb {
+			t.Errorf("maxBuckets=%d produced %d buckets", mb, h.NumBuckets())
+		}
+		if h.Total() != 1000 {
+			t.Errorf("total = %g", h.Total())
+		}
+		// Full-domain selectivity is 1.
+		if got := h.Selectivity(0, 96); math.Abs(got-1) > 1e-9 {
+			t.Errorf("full-range selectivity = %g", got)
+		}
+	}
+}
+
+func TestEqualValuesNeverStraddle(t *testing.T) {
+	// 500 copies of value 7 and a few others: value 7 must live in one
+	// bucket so point queries stay exact.
+	vals := make([]int, 0, 510)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, 7)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 100+i)
+	}
+	h := Build(vals, 3)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.EstimateRange(7, 7)
+	if got < 400 {
+		t.Fatalf("point estimate for heavy value = %g, want near 500", got)
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a := Build([]int{1, 2, 3, 4, 5}, 0)
+	b := Build([]int{4, 5, 6, 7}, 2)
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 9 {
+		t.Fatalf("merged total = %g, want 9", m.Total())
+	}
+	if got := m.EstimateRange(1, 7); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("full range = %g, want 9", got)
+	}
+	// Merge with empty is identity.
+	if got := Merge(a, &Histogram{}); got.Total() != a.Total() || got.NumBuckets() != a.NumBuckets() {
+		t.Fatal("merge with empty not identity")
+	}
+	if got := Merge(nil, b); got.Total() != b.Total() {
+		t.Fatal("merge nil,b not b")
+	}
+}
+
+func TestMergeAlignmentSplitsUniformly(t *testing.T) {
+	// a: one bucket [0,9] count 10; b: one bucket [5,14] count 10.
+	a := &Histogram{buckets: []Bucket{{Lo: 0, Hi: 9, Count: 10}}, total: 10}
+	b := &Histogram{buckets: []Bucket{{Lo: 5, Hi: 14, Count: 10}}, total: 10}
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap region [5,9] should hold 5 (from a) + 5 (from b) = 10.
+	if got := m.EstimateRange(5, 9); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("overlap estimate = %g, want 10", got)
+	}
+	if got := m.EstimateRange(0, 4); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("left estimate = %g, want 5", got)
+	}
+}
+
+func TestMergeAdjacent(t *testing.T) {
+	h := Build([]int{1, 1, 5, 5, 9}, 0)
+	m := h.MergeAdjacent(0)
+	if m.NumBuckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", m.NumBuckets())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original is untouched.
+	if h.NumBuckets() != 3 {
+		t.Fatal("MergeAdjacent mutated receiver")
+	}
+	if got := m.EstimateRange(1, 5); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("range estimate = %g, want 4", got)
+	}
+}
+
+func TestCompressOnceReducesBuckets(t *testing.T) {
+	vals := []int{1, 1, 1, 1, 2, 50, 51, 52, 90, 90, 90}
+	h := Build(vals, 0)
+	n := h.NumBuckets()
+	c, ok := h.CompressOnce()
+	if !ok {
+		t.Fatal("CompressOnce failed")
+	}
+	if c.NumBuckets() != n-1 {
+		t.Fatalf("buckets = %d, want %d", c.NumBuckets(), n-1)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != h.Total() {
+		t.Fatal("compression changed total")
+	}
+	// Compress down to one bucket; then no further compression.
+	for {
+		var more bool
+		c, more = c.CompressOnce()
+		if !more {
+			break
+		}
+	}
+	if c.NumBuckets() != 1 {
+		t.Fatalf("final buckets = %d, want 1", c.NumBuckets())
+	}
+}
+
+func TestCompressPrefersLowErrorPair(t *testing.T) {
+	// Buckets with equal density [0,0]:5 and [1,1]:5 merge losslessly,
+	// unlike the skewed pair {50:100, 90:1}.
+	h := &Histogram{
+		buckets: []Bucket{{0, 0, 5}, {1, 1, 5}, {50, 50, 100}, {90, 90, 1}},
+		total:   111,
+	}
+	c, _ := h.CompressOnce()
+	// The first two should be merged: estimates unchanged.
+	if got := c.EstimateRange(0, 0); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("lossless pair not chosen: est(0,0) = %g", got)
+	}
+	if got := c.EstimateRange(50, 50); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("heavy bucket disturbed: %g", got)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	h := Build([]int{1, 5, 9}, 0)
+	bs := h.Boundaries()
+	if len(bs) != 3 || bs[0] != 1 || bs[1] != 5 || bs[2] != 9 {
+		t.Fatalf("Boundaries = %v", bs)
+	}
+}
+
+// Property: estimates over the full domain always equal the total, and
+// range estimates are monotone in the range and bounded by the total.
+func TestQuickEstimateInvariants(t *testing.T) {
+	f := func(raw []uint8, mbRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		for i, v := range raw {
+			vals[i] = int(v)
+		}
+		mb := int(mbRaw%20) + 1
+		h := Build(vals, mb)
+		if h.Validate() != nil {
+			return false
+		}
+		lo, hi, _ := h.Bounds()
+		full := h.EstimateRange(lo, hi)
+		if math.Abs(full-h.Total()) > 1e-6*math.Max(1, h.Total()) {
+			return false
+		}
+		// Monotonicity over nested ranges.
+		a := h.EstimateRange(lo, lo+(hi-lo)/2)
+		b := h.EstimateRange(lo, hi)
+		return a <= b+1e-9 && b <= h.Total()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging preserves totals and full-domain estimates.
+func TestQuickMergeTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n1, n2 := rng.Intn(50)+1, rng.Intn(50)+1
+		v1 := make([]int, n1)
+		v2 := make([]int, n2)
+		for j := range v1 {
+			v1[j] = rng.Intn(100)
+		}
+		for j := range v2 {
+			v2[j] = rng.Intn(200)
+		}
+		a := Build(v1, rng.Intn(8)+1)
+		b := Build(v2, rng.Intn(8)+1)
+		m := Merge(a, b)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if math.Abs(m.Total()-float64(n1+n2)) > 1e-6 {
+			t.Fatalf("iter %d: total %g, want %d", i, m.Total(), n1+n2)
+		}
+		lo, hi, _ := m.Bounds()
+		if got := m.EstimateRange(lo, hi); math.Abs(got-m.Total()) > 1e-6 {
+			t.Fatalf("iter %d: full estimate %g vs total %g", i, got, m.Total())
+		}
+	}
+}
+
+func TestMaxDiffIsolatesSpikes(t *testing.T) {
+	// A huge spike at 50 amid a uniform floor: MaxDiff must put the
+	// spike in its own bucket even with few buckets.
+	var vals []int
+	for i := 0; i < 100; i++ {
+		vals = append(vals, i)
+	}
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 50)
+	}
+	h := BuildMaxDiff(vals, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBuckets() > 4 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	got := h.EstimateRange(50, 50)
+	if got < 850 {
+		t.Fatalf("spike estimate = %g, want near 901", got)
+	}
+	// An equi-depth histogram with the same budget smears the spike less
+	// precisely than MaxDiff only if boundaries differ; at minimum
+	// MaxDiff must not be worse on the spike point query.
+	eq := Build(vals, 4)
+	if eqGot := eq.EstimateRange(50, 50); got < eqGot-1e-9 {
+		t.Fatalf("MaxDiff (%g) worse than equi-depth (%g) on the spike", got, eqGot)
+	}
+}
+
+func TestMaxDiffDegenerateCases(t *testing.T) {
+	if h := BuildMaxDiff(nil, 4); h.Total() != 0 {
+		t.Fatal("empty build")
+	}
+	// Budget >= distinct values → detailed (exact).
+	h := BuildMaxDiff([]int{1, 2, 3}, 10)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 3; v++ {
+		if got := h.EstimateRange(v, v); got != 1 {
+			t.Fatalf("point %d = %g", v, got)
+		}
+	}
+	// maxBuckets <= 0 → detailed.
+	d := BuildMaxDiff([]int{5, 5, 9}, 0)
+	if d.NumBuckets() != 2 {
+		t.Fatalf("detailed buckets = %d", d.NumBuckets())
+	}
+}
+
+func TestMaxDiffBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int, 2000)
+	for i := range vals {
+		vals[i] = rng.Intn(500)
+	}
+	for _, mb := range []int{1, 3, 8, 32} {
+		h := BuildMaxDiff(vals, mb)
+		if h.NumBuckets() > mb {
+			t.Fatalf("mb=%d: buckets = %d", mb, h.NumBuckets())
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("mb=%d: %v", mb, err)
+		}
+		if h.Total() != 2000 {
+			t.Fatalf("total = %g", h.Total())
+		}
+	}
+}
+
+func TestBucketsAndSize(t *testing.T) {
+	h := Build([]int{1, 5, 9}, 0)
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("Buckets = %v", bs)
+	}
+	// The copy is independent.
+	bs[0].Count = 999
+	if h.Buckets()[0].Count == 999 {
+		t.Fatal("Buckets returned internal storage")
+	}
+	if h.SizeBytes() != 3*BucketBytes {
+		t.Fatalf("SizeBytes = %d", h.SizeBytes())
+	}
+}

@@ -1,0 +1,59 @@
+package pst
+
+import (
+	"sort"
+
+	"xcluster/internal/wire"
+)
+
+// Encode writes the tree: header fields, then the trie in preorder (per
+// node: child count, then per child its symbol, count, and subtree).
+func (t *Tree) Encode(w *wire.Writer) {
+	w.Float(t.root.count)
+	w.Uint(uint64(t.maxDepth))
+	w.Uint(uint64(t.exactDepth))
+	var enc func(n *node)
+	enc = func(n *node) {
+		w.Uint(uint64(len(n.children)))
+		syms := make([]int, 0, len(n.children))
+		for c := range n.children {
+			syms = append(syms, int(c))
+		}
+		sort.Ints(syms)
+		for _, ci := range syms {
+			c := byte(ci)
+			ch := n.children[c]
+			w.Uint(uint64(c))
+			w.Float(ch.count)
+			enc(ch)
+		}
+	}
+	enc(t.root)
+}
+
+// Decode reads a tree written by Encode.
+func Decode(r *wire.Reader) *Tree {
+	t := &Tree{root: &node{count: r.Float()}}
+	t.maxDepth = int(r.Uint())
+	t.exactDepth = int(r.Uint())
+	var dec func(n *node, depth int)
+	dec = func(n *node, depth int) {
+		cnt := int(r.Uint())
+		if r.Err() != nil || depth > 64 || cnt > 256 {
+			if cnt > 256 || depth > 64 {
+				// Corrupt stream; poison via an impossible read.
+				r.Uint()
+			}
+			return
+		}
+		for i := 0; i < cnt && r.Err() == nil; i++ {
+			c := byte(r.Uint())
+			ch := n.ensureChild(c)
+			ch.count = r.Float()
+			t.nodes++
+			dec(ch, depth+1)
+		}
+	}
+	dec(t.root, 0)
+	return t
+}

@@ -1,0 +1,488 @@
+// Package pst implements Pruned Suffix Trees, the STRING value summary of
+// XCluster nodes: a depth-bounded trie over all substrings of a string
+// collection, annotated with document-frequency counts (how many strings
+// contain each substring).
+//
+// Following the paper's modification of the original PST proposal, the
+// tree always retains at least one node for every symbol that appears in
+// the distribution (depth-1 nodes are never pruned), which keeps negative
+// substring queries at zero estimated selectivity. Longer query strings
+// are estimated with the maximal-overlap Markovian scheme of Jagadish, Ng
+// and Srivastava (PODS'99): the query is parsed greedily into maximal
+// retained substrings and conditional probabilities are chained across
+// their overlaps.
+package pst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeBytes is the storage charged per trie node (symbol, count, child
+// pointer) by the synopsis size accounting.
+const NodeBytes = 6
+
+// DefaultMaxDepth bounds the substring length recorded by detailed
+// (reference-synopsis) PSTs.
+const DefaultMaxDepth = 4
+
+type node struct {
+	children map[byte]*node
+	count    float64
+}
+
+func (n *node) child(c byte) *node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[c]
+}
+
+func (n *node) ensureChild(c byte) *node {
+	if n.children == nil {
+		n.children = make(map[byte]*node)
+	}
+	ch := n.children[c]
+	if ch == nil {
+		ch = &node{}
+		n.children[c] = ch
+	}
+	return ch
+}
+
+// Tree is a pruned suffix tree over a collection of strings. The zero
+// value is unusable; use Build or Merge.
+type Tree struct {
+	root     *node // count = number of strings
+	maxDepth int
+	nodes    int // trie nodes, root excluded
+	// exactDepth is the substring length up to which absence from the
+	// trie is definitive (true zero count). A freshly built tree retains
+	// every substring up to maxDepth; pruning reduces the guarantee to
+	// depth 1 (the one-node-per-symbol invariant).
+	exactDepth int
+}
+
+// Build constructs a detailed PST over the collection, recording every
+// substring of length at most maxDepth (DefaultMaxDepth when <= 0). Each
+// string contributes at most one count per distinct substring (document
+// frequency).
+func Build(strs []string, maxDepth int) *Tree {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	t := &Tree{root: &node{count: float64(len(strs))}, maxDepth: maxDepth, exactDepth: maxDepth}
+	for _, s := range strs {
+		t.insertString(s)
+	}
+	return t
+}
+
+// insertString adds every distinct substring of s (up to maxDepth) with a
+// count of one. Deduplication walks all start positions but bumps a node
+// only on the first visit per string, using a per-call stamp.
+func (t *Tree) insertString(s string) {
+	type stamp map[*node]struct{}
+	seen := make(stamp)
+	for i := 0; i < len(s); i++ {
+		cur := t.root
+		for j := i; j < len(s) && j-i < t.maxDepth; j++ {
+			next := cur.child(s[j])
+			if next == nil {
+				next = cur.ensureChild(s[j])
+				t.nodes++
+			}
+			cur = next
+			if _, dup := seen[cur]; !dup {
+				seen[cur] = struct{}{}
+				cur.count++
+			}
+		}
+	}
+}
+
+// Count returns the number of summarized strings.
+func (t *Tree) Count() float64 { return t.root.count }
+
+// Nodes returns the number of trie nodes (root excluded).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// SizeBytes returns the storage charge of the tree.
+func (t *Tree) SizeBytes() int { return t.nodes * NodeBytes }
+
+// MaxDepth returns the depth bound of retained substrings.
+func (t *Tree) MaxDepth() int { return t.maxDepth }
+
+// lookup returns the node for substring s, or nil if not fully retained.
+func (t *Tree) lookup(s string) *node {
+	cur := t.root
+	for i := 0; i < len(s); i++ {
+		cur = cur.child(s[i])
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// freq returns the document-frequency count of substring s, or -1 if s is
+// not retained. freq("") is the string count.
+func (t *Tree) freq(s string) float64 {
+	n := t.lookup(s)
+	if n == nil {
+		return -1
+	}
+	return n.count
+}
+
+// longestPrefix returns the length of the longest prefix of s retained in
+// the tree.
+func (t *Tree) longestPrefix(s string) int {
+	cur := t.root
+	for i := 0; i < len(s); i++ {
+		cur = cur.child(s[i])
+		if cur == nil {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// Selectivity estimates the fraction of strings containing qs as a
+// substring. Fully-retained substrings are answered exactly; longer ones
+// use the maximal-overlap Markovian estimate.
+func (t *Tree) Selectivity(qs string) float64 {
+	if t.root.count == 0 {
+		return 0
+	}
+	if qs == "" {
+		return 1
+	}
+	n := float64(t.root.count)
+	if f := t.freq(qs); f >= 0 {
+		return f / n
+	}
+	if len(qs) <= t.exactDepth {
+		return 0 // absence within the exact depth is definitive
+	}
+	// Maximal-overlap parse. m[i] = longest retained prefix of qs[i:].
+	m := make([]int, len(qs))
+	for i := range qs {
+		m[i] = t.longestPrefix(qs[i:])
+	}
+	if m[0] == 0 {
+		return 0 // leading symbol unseen
+	}
+	prob := t.freq(qs[:m[0]]) / n
+	prevStart, covered := 0, m[0]
+	for covered < len(qs) {
+		// Choose the piece starting in (prevStart, covered] that extends
+		// coverage the furthest.
+		bestS, bestEnd := -1, covered
+		for s := prevStart + 1; s <= covered; s++ {
+			if end := s + m[s]; end > bestEnd {
+				bestS, bestEnd = s, end
+			}
+		}
+		if bestS < 0 {
+			return 0 // symbol at position `covered` unseen
+		}
+		piece := qs[bestS:bestEnd]
+		overlap := qs[bestS:covered]
+		fo := n
+		if overlap != "" {
+			fo = t.freq(overlap) // retained: it is a prefix of piece
+		}
+		if fo <= 0 {
+			return 0
+		}
+		prob *= t.freq(piece) / fo
+		prevStart, covered = bestS, bestEnd
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	return prob
+}
+
+// EstimateCount returns the estimated number of strings containing qs.
+func (t *Tree) EstimateCount(qs string) float64 {
+	return t.Selectivity(qs) * t.root.count
+}
+
+// Merge fuses two PSTs into a summary of the union of their string
+// collections: the union of retained substrings with summed counts (the
+// paper's STRING fusion f()).
+func Merge(a, b *Tree) *Tree {
+	if a == nil {
+		return b.Clone()
+	}
+	if b == nil {
+		return a.Clone()
+	}
+	out := &Tree{
+		root:       &node{count: a.root.count + b.root.count},
+		maxDepth:   max(a.maxDepth, b.maxDepth),
+		exactDepth: min(a.exactDepth, b.exactDepth),
+	}
+	var add func(dst, src *node)
+	add = func(dst, src *node) {
+		for c, sc := range src.children {
+			dc := dst.child(c)
+			if dc == nil {
+				dc = dst.ensureChild(c)
+				out.nodes++
+			}
+			dc.count += sc.count
+			add(dc, sc)
+		}
+	}
+	// Union by cloning a's shape then folding b in. out.nodes counts
+	// every created node.
+	add(out.root, a.root)
+	add(out.root, b.root)
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Tree) Clone() *Tree {
+	if t == nil {
+		return nil
+	}
+	out := &Tree{root: &node{count: t.root.count}, maxDepth: t.maxDepth, nodes: t.nodes, exactDepth: t.exactDepth}
+	var cp func(dst, src *node)
+	cp = func(dst, src *node) {
+		for c, sc := range src.children {
+			dc := dst.ensureChild(c)
+			dc.count = sc.count
+			cp(dc, sc)
+		}
+	}
+	cp(out.root, t.root)
+	return out
+}
+
+// leafInfo identifies a prunable leaf by its substring path.
+type leafInfo struct {
+	path  string
+	err   float64
+	count float64
+}
+
+// leaves collects all prunable leaves (depth >= 2, no children) with
+// their pruning errors.
+func (t *Tree) leaves() []leafInfo {
+	var out []leafInfo
+	var walk func(n *node, path []byte)
+	walk = func(n *node, path []byte) {
+		for c, ch := range n.children {
+			p := append(path, c)
+			if len(ch.children) == 0 {
+				if len(p) >= 2 {
+					s := string(p)
+					out = append(out, leafInfo{path: s, err: t.pruneError(s, ch.count), count: ch.count})
+				}
+			} else {
+				walk(ch, p)
+			}
+			path = p[:len(p)-1]
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// pruneError quantifies how much the estimate for substring s degrades if
+// its node (with exact count f) is pruned: |f - markovEstimate(s)|, where
+// the Markov estimate chains the parent substring with the longest
+// retained proper suffix — exactly the estimate Selectivity would produce
+// once the node is gone.
+func (t *Tree) pruneError(s string, f float64) float64 {
+	n := t.root.count
+	if n == 0 {
+		return 0
+	}
+	parent := s[:len(s)-1]
+	fp := t.freq(parent)
+	if fp <= 0 {
+		return f
+	}
+	// Longest proper suffix still retained in full.
+	for j := 1; j < len(s); j++ {
+		fs := t.freq(s[j:])
+		if fs < 0 {
+			continue
+		}
+		fo := n
+		if j < len(s)-1 {
+			fo = t.freq(s[j : len(s)-1])
+		}
+		if fo <= 0 {
+			continue
+		}
+		est := fp * fs / fo
+		return math.Abs(f - est)
+	}
+	return f
+}
+
+// Prune removes up to b leaves in ascending pruning-error order, never
+// removing depth-1 nodes (the one-node-per-symbol invariant). It returns
+// the number of nodes actually removed. Pruning mutates the tree.
+func (t *Tree) Prune(b int) int {
+	removed := 0
+	for removed < b {
+		ls := t.leaves()
+		if len(ls) == 0 {
+			break
+		}
+		sort.Slice(ls, func(i, j int) bool {
+			if ls[i].err != ls[j].err {
+				return ls[i].err < ls[j].err
+			}
+			// Ties (common at error 0): prune deeper leaves first — they
+			// carry the least residual information — and spread within a
+			// depth by hash so no alphabet region is systematically
+			// favored. Both keys are deterministic.
+			if len(ls[i].path) != len(ls[j].path) {
+				return len(ls[i].path) > len(ls[j].path)
+			}
+			hi, hj := pathHash(ls[i].path), pathHash(ls[j].path)
+			if hi != hj {
+				return hi < hj
+			}
+			return ls[i].path < ls[j].path
+		})
+		// Remove as many of this round's lowest-error leaves as allowed;
+		// removing a leaf can expose its parent as a new leaf, so
+		// re-collect after each batch.
+		batch := b - removed
+		if batch > len(ls) {
+			batch = len(ls)
+		}
+		for i := 0; i < batch; i++ {
+			t.removeLeaf(ls[i].path)
+			removed++
+		}
+		t.exactDepth = 1
+	}
+	return removed
+}
+
+// PruneLowestCount removes up to b leaves in ascending count order,
+// ignoring pruning errors. This is the naive baseline the paper's
+// pruning-error scheme is measured against (low count does not imply the
+// Markov estimate reconstructs the substring well).
+func (t *Tree) PruneLowestCount(b int) int {
+	removed := 0
+	for removed < b {
+		ls := t.leaves()
+		if len(ls) == 0 {
+			break
+		}
+		sort.Slice(ls, func(i, j int) bool {
+			if ls[i].count != ls[j].count {
+				return ls[i].count < ls[j].count
+			}
+			return ls[i].path < ls[j].path // deterministic tie-break
+		})
+		batch := b - removed
+		if batch > len(ls) {
+			batch = len(ls)
+		}
+		for i := 0; i < batch; i++ {
+			t.removeLeaf(ls[i].path)
+			removed++
+		}
+		t.exactDepth = 1
+	}
+	return removed
+}
+
+// pathHash is a deterministic FNV-1a spreader for pruning tie-breaks.
+func pathHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// removeLeaf unlinks the node at path (which must be a leaf).
+func (t *Tree) removeLeaf(path string) {
+	cur := t.root
+	for i := 0; i < len(path)-1; i++ {
+		cur = cur.child(path[i])
+		if cur == nil {
+			return
+		}
+	}
+	last := path[len(path)-1]
+	if ch := cur.child(last); ch != nil {
+		if len(ch.children) != 0 {
+			panic(fmt.Sprintf("pst: removeLeaf(%q): not a leaf", path))
+		}
+		delete(cur.children, last)
+		t.nodes--
+	}
+}
+
+// Substrings invokes fn for every retained substring and its count, in
+// depth-first order. Returning false stops the walk.
+func (t *Tree) Substrings(fn func(s string, count float64) bool) {
+	var walk func(n *node, path []byte) bool
+	walk = func(n *node, path []byte) bool {
+		// Deterministic order: sorted symbols.
+		syms := make([]int, 0, len(n.children))
+		for c := range n.children {
+			syms = append(syms, int(c))
+		}
+		sort.Ints(syms)
+		for _, ci := range syms {
+			c := byte(ci)
+			ch := n.children[c]
+			p := append(path, c)
+			if !fn(string(p), ch.count) {
+				return false
+			}
+			if !walk(ch, p) {
+				return false
+			}
+			path = p[:len(p)-1]
+		}
+		return true
+	}
+	walk(t.root, nil)
+}
+
+// Validate checks the monotonicity invariant (every node's count is at
+// most its parent's) and the node-count bookkeeping.
+func (t *Tree) Validate() error {
+	seen := 0
+	var walk func(n *node, parentCount float64, depth int) error
+	walk = func(n *node, parentCount float64, depth int) error {
+		for c, ch := range n.children {
+			seen++
+			if ch.count > parentCount+1e-9 {
+				return fmt.Errorf("pst: monotonicity violated at symbol %q depth %d: %g > %g",
+					string(c), depth+1, ch.count, parentCount)
+			}
+			if ch.count <= 0 {
+				return fmt.Errorf("pst: non-positive count at symbol %q depth %d", string(c), depth+1)
+			}
+			if err := walk(ch, ch.count, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.root.count, 0); err != nil {
+		return err
+	}
+	if seen != t.nodes {
+		return fmt.Errorf("pst: node count %d, bookkeeping says %d", seen, t.nodes)
+	}
+	return nil
+}

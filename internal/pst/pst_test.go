@@ -1,0 +1,319 @@
+package pst
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xcluster/internal/wire"
+)
+
+// trueSel returns the exact fraction of strs containing qs.
+func trueSel(strs []string, qs string) float64 {
+	if len(strs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range strs {
+		if strings.Contains(s, qs) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(strs))
+}
+
+func TestExactForRetainedSubstrings(t *testing.T) {
+	strs := []string{"database", "data", "base", "databank", "abase"}
+	tr := Build(strs, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 5 {
+		t.Fatalf("Count = %g", tr.Count())
+	}
+	for _, qs := range []string{"d", "a", "dat", "data", "base", "bas", "ban", "ab"} {
+		got := tr.Selectivity(qs)
+		want := trueSel(strs, qs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("sel(%q) = %g, want %g", qs, got, want)
+		}
+	}
+}
+
+func TestNegativeQueriesAreZero(t *testing.T) {
+	strs := []string{"alpha", "beta", "gamma"}
+	tr := Build(strs, 4)
+	for _, qs := range []string{"z", "zz", "alphaz", "xy"} {
+		if got := tr.Selectivity(qs); got != 0 {
+			t.Errorf("sel(%q) = %g, want 0 (symbol absent)", qs, got)
+		}
+	}
+}
+
+func TestMarkovEstimateForLongStrings(t *testing.T) {
+	// Depth 3 retains trigrams; "database" needs chaining.
+	strs := []string{"database", "database", "database", "dataset"}
+	tr := Build(strs, 3)
+	got := tr.Selectivity("database")
+	want := 0.75
+	// The Markov chain should land in the right ballpark (the chain is
+	// exact when conditional independence holds; here it nearly does).
+	if got < 0.3 || got > 1.0 {
+		t.Fatalf("sel(database) = %g, want near %g", got, want)
+	}
+	// And the unrelated long string estimates to (near) zero.
+	if got := tr.Selectivity("basedata"); got > 0.8 {
+		t.Fatalf("sel(basedata) = %g, suspiciously high", got)
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	tr := Build(nil, 4)
+	if tr.Selectivity("a") != 0 || tr.Count() != 0 {
+		t.Fatal("empty PST misbehaves")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyQueryString(t *testing.T) {
+	tr := Build([]string{"ab"}, 4)
+	if got := tr.Selectivity(""); got != 1 {
+		t.Fatalf("sel(\"\") = %g, want 1", got)
+	}
+}
+
+func TestMergeMatchesUnionBuild(t *testing.T) {
+	a := []string{"database", "data", "index"}
+	b := []string{"base", "databank", "index"}
+	ta := Build(a, 4)
+	tb := Build(b, 4)
+	m := Merge(ta, tb)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u := Build(append(append([]string{}, a...), b...), 4)
+	if m.Count() != u.Count() {
+		t.Fatalf("merged count %g, want %g", m.Count(), u.Count())
+	}
+	if m.Nodes() != u.Nodes() {
+		t.Fatalf("merged nodes %d, want %d", m.Nodes(), u.Nodes())
+	}
+	for _, qs := range []string{"data", "base", "ind", "x", "q"} {
+		if got, want := m.Selectivity(qs), u.Selectivity(qs); math.Abs(got-want) > 1e-9 {
+			t.Errorf("sel(%q): merged %g, union-built %g", qs, got, want)
+		}
+	}
+	// Merge with nil is a clone.
+	c := Merge(ta, nil)
+	if c.Count() != ta.Count() || c.Nodes() != ta.Nodes() {
+		t.Fatal("Merge(a, nil) not a clone")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tr := Build([]string{"abc", "abd"}, 3)
+	cl := tr.Clone()
+	n := tr.Nodes()
+	cl.Prune(2)
+	if tr.Nodes() != n {
+		t.Fatal("pruning the clone mutated the original")
+	}
+}
+
+func TestPruneReducesNodesKeepsSymbols(t *testing.T) {
+	strs := []string{"database", "dataset", "databank", "index", "indices"}
+	tr := Build(strs, 4)
+	before := tr.Nodes()
+	removed := tr.Prune(10)
+	if removed != 10 {
+		t.Fatalf("removed %d, want 10", removed)
+	}
+	if tr.Nodes() != before-10 {
+		t.Fatalf("nodes %d, want %d", tr.Nodes(), before-10)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every symbol of the data still has its depth-1 node: negative
+	// queries on unseen symbols are still zero, seen symbols non-zero.
+	for _, c := range "database" {
+		if tr.Selectivity(string(c)) == 0 {
+			t.Errorf("symbol %q lost after pruning", string(c))
+		}
+	}
+	if tr.Selectivity("z") != 0 {
+		t.Error("unseen symbol gained selectivity")
+	}
+}
+
+func TestPruneToMinimum(t *testing.T) {
+	strs := []string{"abcd", "bcde"}
+	tr := Build(strs, 4)
+	tr.Prune(1 << 20) // prune everything prunable
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only depth-1 nodes remain.
+	tr.Substrings(func(s string, _ float64) bool {
+		if len(s) > 1 {
+			t.Errorf("substring %q survived unlimited pruning", s)
+		}
+		return true
+	})
+}
+
+func TestPruningErrorOrder(t *testing.T) {
+	// f(x)=f(y)=f(xy)=3 so the Markov estimate for "xy" is 9/8 (error
+	// 1.875); f(a)=f(b)=3 but f(ab)=1 so the estimate 9/8 is nearly
+	// right (error 0.125). The pruning scheme must drop "ab" first.
+	strs := []string{"xy", "xy", "xy", "ab", "a", "b", "a", "b"}
+	tr := Build(strs, 2)
+	var errXY, errAB float64
+	tr.Substrings(func(s string, c float64) bool {
+		switch s {
+		case "xy":
+			errXY = tr.pruneError(s, c)
+		case "ab":
+			errAB = tr.pruneError(s, c)
+		}
+		return true
+	})
+	if errAB >= errXY {
+		t.Fatalf("pruneError(ab)=%g should be < pruneError(xy)=%g", errAB, errXY)
+	}
+	tr.Prune(1)
+	retained := make(map[string]bool)
+	tr.Substrings(func(s string, _ float64) bool {
+		retained[s] = true
+		return true
+	})
+	if retained["ab"] {
+		t.Fatal("Prune(1) kept the low-error leaf ab")
+	}
+	if !retained["xy"] {
+		t.Fatal("Prune(1) removed the high-error leaf xy")
+	}
+}
+
+func TestSubstringsEnumeration(t *testing.T) {
+	tr := Build([]string{"ab"}, 2)
+	var got []string
+	tr.Substrings(func(s string, c float64) bool {
+		got = append(got, s)
+		return true
+	})
+	want := map[string]bool{"a": true, "ab": true, "b": true}
+	if len(got) != len(want) {
+		t.Fatalf("Substrings = %v", got)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected substring %q", s)
+		}
+	}
+}
+
+func TestRandomizedAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abcdef"
+	var strs []string
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(12) + 1
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		strs = append(strs, sb.String())
+	}
+	tr := Build(strs, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Retained-length queries are exact.
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(4) + 1
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		qs := sb.String()
+		if got, want := tr.Selectivity(qs), trueSel(strs, qs); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sel(%q) = %g, want %g", qs, got, want)
+		}
+	}
+	// Longer queries stay within [0,1] and are zero when truly absent
+	// symbols appear.
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(6) + 5
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		got := tr.Selectivity(sb.String())
+		if got < 0 || got > 1 {
+			t.Fatalf("sel(%q) = %g out of [0,1]", sb.String(), got)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr := Build([]string{"ab"}, 2)
+	if tr.SizeBytes() != tr.Nodes()*NodeBytes {
+		t.Fatalf("SizeBytes = %d", tr.SizeBytes())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := Build([]string{"database", "dataset", "index", "index"}, 4)
+	tr.Prune(3) // exercise exactDepth serialization too
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	tr.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back := Decode(wire.NewReader(&buf))
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != tr.Count() || back.Nodes() != tr.Nodes() || back.MaxDepth() != tr.MaxDepth() {
+		t.Fatalf("shape changed: %g/%g strings, %d/%d nodes",
+			back.Count(), tr.Count(), back.Nodes(), tr.Nodes())
+	}
+	for _, qs := range []string{"data", "index", "base", "q", "datab", "zzz"} {
+		if a, b := tr.Selectivity(qs), back.Selectivity(qs); a != b {
+			t.Fatalf("sel(%q): %g -> %g", qs, a, b)
+		}
+	}
+}
+
+func TestDecodeGuardsAgainstCorruptStreams(t *testing.T) {
+	// A stream claiming an absurd child count must not allocate wildly
+	// or recurse forever.
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Float(5)   // count
+	w.Uint(4)    // maxDepth
+	w.Uint(4)    // exactDepth
+	w.Uint(9999) // child count: corrupt
+	_ = w.Flush()
+	r := wire.NewReader(&buf)
+	_ = Decode(r)
+	if r.Err() == nil {
+		t.Fatal("corrupt child count accepted silently")
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	tr := Build([]string{"data", "data", "base"}, 4)
+	if got := tr.EstimateCount("data"); got != 2 {
+		t.Fatalf("EstimateCount(data) = %g, want 2", got)
+	}
+	if got := tr.EstimateCount("zz"); got != 0 {
+		t.Fatalf("EstimateCount(zz) = %g, want 0", got)
+	}
+}

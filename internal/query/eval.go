@@ -1,0 +1,194 @@
+package query
+
+import (
+	"sort"
+
+	"xcluster/internal/xmltree"
+)
+
+// Evaluator counts the exact selectivity of twig queries over a document:
+// the number of binding tuples, i.e. assignments of document elements to
+// all query variables that satisfy every structural and value constraint.
+// This is the ground truth used to score synopsis estimates.
+type Evaluator struct {
+	tree *xmltree.Tree
+}
+
+// NewEvaluator returns an Evaluator over tree.
+func NewEvaluator(tree *xmltree.Tree) *Evaluator {
+	return &Evaluator{tree: tree}
+}
+
+// Selectivity returns s(Q): the exact number of binding tuples of q. The
+// count is returned as float64; binding-tuple counts are exact integers up
+// to 2^53, far beyond any workload in this repository.
+//
+// Query paths are resolved from the virtual document node above the root
+// element, so both /root-label/... and //anything work as in XPath.
+func (e *Evaluator) Selectivity(q *Query) float64 {
+	doc := e.docNode()
+	total := 1.0
+	for _, r := range q.Roots {
+		total *= e.tuples(r, doc)
+	}
+	return total
+}
+
+// docNode returns the virtual document node: an unlabeled parent of the
+// root element (the binding of the implicit query variable q0).
+func (e *Evaluator) docNode() *xmltree.Node {
+	return &xmltree.Node{ID: -1, Children: []*xmltree.Node{e.tree.Root}}
+}
+
+// Matches returns the elements bound to a single-variable chain starting
+// at the virtual document node (used by workload generation and tests).
+func (e *Evaluator) Matches(steps []Step) []*xmltree.Node {
+	return e.matchSteps(e.docNode(), steps)
+}
+
+// tuples returns the number of binding tuples of the query subtree rooted
+// at variable v, given that v's parent variable is bound to elem.
+func (e *Evaluator) tuples(v *Node, elem *xmltree.Node) float64 {
+	targets := e.matchSteps(elem, v.Steps)
+	total := 0.0
+	for _, t := range targets {
+		if v.Pred != nil && !v.Pred.Match(e.tree, t) {
+			continue
+		}
+		prod := 1.0
+		for _, c := range v.Children {
+			sub := e.tuples(c, t)
+			if sub == 0 {
+				prod = 0
+				break
+			}
+			prod *= sub
+		}
+		total += prod
+	}
+	return total
+}
+
+// Binding is one assignment of document elements to the query's
+// variables, in preorder over the query tree.
+type Binding []*xmltree.Node
+
+// Bindings enumerates up to limit binding tuples of q (limit <= 0: all).
+// The number of bindings can be huge (it is the selectivity), so callers
+// should bound it; estimation never needs this, but result inspection and
+// debugging do.
+func (e *Evaluator) Bindings(q *Query, limit int) []Binding {
+	type varInfo struct {
+		node   *Node
+		parent int
+	}
+	var infos []varInfo
+	var collect func(v *Node, parent int)
+	collect = func(v *Node, parent int) {
+		idx := len(infos)
+		infos = append(infos, varInfo{node: v, parent: parent})
+		for _, c := range v.Children {
+			collect(c, idx)
+		}
+	}
+	for _, r := range q.Roots {
+		collect(r, -1)
+	}
+
+	doc := e.docNode()
+	var out []Binding
+	assignment := make(Binding, len(infos))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if limit > 0 && len(out) >= limit {
+			return false
+		}
+		if i == len(infos) {
+			out = append(out, append(Binding(nil), assignment...))
+			return true
+		}
+		info := infos[i]
+		from := doc
+		if info.parent >= 0 {
+			from = assignment[info.parent]
+		}
+		for _, tgt := range e.matchSteps(from, info.node.Steps) {
+			if info.node.Pred != nil && !info.node.Pred.Match(e.tree, tgt) {
+				continue
+			}
+			assignment[i] = tgt
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// matchSteps returns the distinct elements reached from elem by the step
+// sequence, in document order. Descendant steps with a concrete label
+// use the tree's label index and preorder subtree intervals instead of
+// walking the subtree.
+func (e *Evaluator) matchSteps(elem *xmltree.Node, steps []Step) []*xmltree.Node {
+	frontier := []*xmltree.Node{elem}
+	for _, s := range steps {
+		var next []*xmltree.Node
+		seen := make(map[int]struct{})
+		add := func(n *xmltree.Node) {
+			if _, dup := seen[n.ID]; !dup {
+				seen[n.ID] = struct{}{}
+				next = append(next, n)
+			}
+		}
+		for _, f := range frontier {
+			if s.Axis == Child {
+				for _, c := range f.Children {
+					if s.Matches(c.Label) {
+						add(c)
+					}
+				}
+				continue
+			}
+			e.addDescendants(f, s, add)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	return frontier
+}
+
+// addDescendants visits all proper descendants of n matching step s.
+func (e *Evaluator) addDescendants(n *xmltree.Node, s Step, add func(*xmltree.Node)) {
+	virtual := n.ID < 0 // the document node above the root
+	if s.Label != Wildcard {
+		ids := e.tree.LabeledIDs(s.Label)
+		if virtual {
+			for _, id := range ids {
+				add(e.tree.Node(id))
+			}
+			return
+		}
+		end := e.tree.SubtreeEnd(n)
+		// Binary search into the sorted label index for (n.ID, end].
+		lo := sort.SearchInts(ids, n.ID+1)
+		for i := lo; i < len(ids) && ids[i] <= end; i++ {
+			add(e.tree.Node(ids[i]))
+		}
+		return
+	}
+	// Wildcard: every node in the subtree interval.
+	if virtual {
+		for _, d := range e.tree.Nodes() {
+			add(d)
+		}
+		return
+	}
+	end := e.tree.SubtreeEnd(n)
+	for id := n.ID + 1; id <= end; id++ {
+		add(e.tree.Node(id))
+	}
+}

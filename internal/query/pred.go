@@ -1,0 +1,133 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"xcluster/internal/xmltree"
+)
+
+// PredKind identifies the class of a value predicate, matching the three
+// value types of the data model.
+type PredKind uint8
+
+const (
+	// KindRange is a NUMERIC range predicate [l,h].
+	KindRange PredKind = iota
+	// KindContains is a STRING substring predicate contains(qs).
+	KindContains
+	// KindFTContains is a TEXT keyword predicate ftcontains(t1..tk).
+	KindFTContains
+)
+
+func (k PredKind) String() string {
+	switch k {
+	case KindRange:
+		return "numeric"
+	case KindContains:
+		return "string"
+	case KindFTContains:
+		return "text"
+	default:
+		return fmt.Sprintf("PredKind(%d)", uint8(k))
+	}
+}
+
+// Pred is a value predicate attached to a query variable. Match evaluates
+// the predicate against the value of a document element.
+type Pred interface {
+	Kind() PredKind
+	Match(t *xmltree.Tree, n *xmltree.Node) bool
+	String() string
+}
+
+// Range selects NUMERIC values v with Lo <= v <= Hi.
+type Range struct {
+	Lo, Hi int
+}
+
+// Kind implements Pred.
+func (Range) Kind() PredKind { return KindRange }
+
+// Match implements Pred.
+func (p Range) Match(_ *xmltree.Tree, n *xmltree.Node) bool {
+	return n.Type == xmltree.TypeNumeric && n.Num >= p.Lo && n.Num <= p.Hi
+}
+
+func (p Range) String() string { return fmt.Sprintf("range(%d,%d)", p.Lo, p.Hi) }
+
+// Contains selects STRING values that contain Substr (like SQL LIKE
+// '%Substr%').
+type Contains struct {
+	Substr string
+}
+
+// Kind implements Pred.
+func (Contains) Kind() PredKind { return KindContains }
+
+// Match implements Pred.
+func (p Contains) Match(_ *xmltree.Tree, n *xmltree.Node) bool {
+	return n.Type == xmltree.TypeString && strings.Contains(n.Str, p.Substr)
+}
+
+func (p Contains) String() string { return fmt.Sprintf("contains(%s)", p.Substr) }
+
+// FTContains selects TEXT values whose Boolean term vector contains every
+// listed term (exact term matches in the set-theoretic IR model).
+type FTContains struct {
+	Terms []string
+}
+
+// Kind implements Pred.
+func (FTContains) Kind() PredKind { return KindFTContains }
+
+// Match implements Pred.
+func (p FTContains) Match(t *xmltree.Tree, n *xmltree.Node) bool {
+	if n.Type != xmltree.TypeText {
+		return false
+	}
+	for _, term := range p.Terms {
+		id, ok := t.Dict.ID(term)
+		if !ok || !n.HasTerm(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p FTContains) String() string {
+	return fmt.Sprintf("ftcontains(%s)", strings.Join(p.Terms, ","))
+}
+
+// FTSim selects TEXT values whose term vector contains at least Min of
+// the listed terms — the set-theoretic document-similarity predicate of
+// the Boolean IR model the paper notes its techniques also handle
+// (ftcontains is the special case Min = len(Terms)).
+type FTSim struct {
+	Terms []string
+	Min   int
+}
+
+// Kind implements Pred. FTSim shares the TEXT predicate class.
+func (FTSim) Kind() PredKind { return KindFTContains }
+
+// Match implements Pred.
+func (p FTSim) Match(t *xmltree.Tree, n *xmltree.Node) bool {
+	if n.Type != xmltree.TypeText {
+		return false
+	}
+	hits := 0
+	for _, term := range p.Terms {
+		if id, ok := t.Dict.ID(term); ok && n.HasTerm(id) {
+			hits++
+			if hits >= p.Min {
+				return true
+			}
+		}
+	}
+	return hits >= p.Min
+}
+
+func (p FTSim) String() string {
+	return fmt.Sprintf("ftsim(%d,%s)", p.Min, strings.Join(p.Terms, ","))
+}

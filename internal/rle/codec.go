@@ -1,0 +1,30 @@
+package rle
+
+import "xcluster/internal/wire"
+
+// Encode writes the bitset as a run count followed by delta-encoded
+// (gap, length) pairs.
+func (b *Bitset) Encode(w *wire.Writer) {
+	w.Uint(uint64(len(b.runs)))
+	prev := 0
+	for _, r := range b.runs {
+		w.Uint(uint64(r.Start - prev))
+		w.Uint(uint64(r.Len))
+		prev = r.Start + r.Len
+	}
+}
+
+// Decode reads a bitset written by Encode.
+func Decode(r *wire.Reader) *Bitset {
+	n := int(r.Uint())
+	b := &Bitset{}
+	prev := 0
+	for i := 0; i < n && r.Err() == nil; i++ {
+		start := prev + int(r.Uint())
+		length := int(r.Uint())
+		b.runs = append(b.runs, run{Start: start, Len: length})
+		b.card += length
+		prev = start + length
+	}
+	return b
+}

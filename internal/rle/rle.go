@@ -1,0 +1,108 @@
+// Package rle implements a run-length-compressed bitset over a dense
+// integer domain. It is the lossless representation behind the uniform
+// bucket of end-biased term histograms: the binary version of a term
+// vector (1 where a term occurs, 0 otherwise) compressed as runs of set
+// bits.
+package rle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// run is a maximal interval [Start, Start+Len) of set bits.
+type run struct {
+	Start, Len int
+}
+
+// Bitset is an immutable run-length-encoded set of non-negative integers.
+// The zero value is the empty set.
+type Bitset struct {
+	runs []run
+	card int
+}
+
+// FromSorted builds a Bitset from a sorted slice of distinct non-negative
+// ids. It panics if ids are unsorted or duplicated (caller bug).
+func FromSorted(ids []int) *Bitset {
+	b := &Bitset{}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			panic(fmt.Sprintf("rle: FromSorted: unsorted input at %d", i))
+		}
+		if n := len(b.runs); n > 0 && b.runs[n-1].Start+b.runs[n-1].Len == id {
+			b.runs[n-1].Len++
+		} else {
+			b.runs = append(b.runs, run{Start: id, Len: 1})
+		}
+	}
+	b.card = len(ids)
+	return b
+}
+
+// FromUnsorted builds a Bitset from arbitrary ids, deduplicating.
+func FromUnsorted(ids []int) *Bitset {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	dedup := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || sorted[i-1] != id {
+			dedup = append(dedup, id)
+		}
+	}
+	return FromSorted(dedup)
+}
+
+// Contains reports whether id is in the set.
+func (b *Bitset) Contains(id int) bool {
+	i := sort.Search(len(b.runs), func(i int) bool {
+		return b.runs[i].Start+b.runs[i].Len > id
+	})
+	return i < len(b.runs) && b.runs[i].Start <= id
+}
+
+// Card returns the number of set bits.
+func (b *Bitset) Card() int { return b.card }
+
+// Runs returns the number of runs (the unit of the size accounting).
+func (b *Bitset) Runs() int { return len(b.runs) }
+
+// Or returns the union of b and o.
+func (b *Bitset) Or(o *Bitset) *Bitset {
+	ids := make([]int, 0, b.card+o.card)
+	ids = append(ids, b.IDs()...)
+	ids = append(ids, o.IDs()...)
+	return FromUnsorted(ids)
+}
+
+// Add returns a copy of b with the given ids added.
+func (b *Bitset) Add(ids ...int) *Bitset {
+	all := append(b.IDs(), ids...)
+	return FromUnsorted(all)
+}
+
+// Remove returns a copy of b without the given ids.
+func (b *Bitset) Remove(ids ...int) *Bitset {
+	drop := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		drop[id] = struct{}{}
+	}
+	kept := make([]int, 0, b.card)
+	for _, id := range b.IDs() {
+		if _, gone := drop[id]; !gone {
+			kept = append(kept, id)
+		}
+	}
+	return FromSorted(kept)
+}
+
+// IDs materializes the set as a sorted slice.
+func (b *Bitset) IDs() []int {
+	out := make([]int, 0, b.card)
+	for _, r := range b.runs {
+		for i := 0; i < r.Len; i++ {
+			out = append(out, r.Start+i)
+		}
+	}
+	return out
+}

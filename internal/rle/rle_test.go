@@ -1,0 +1,163 @@
+package rle
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	b := FromSorted(nil)
+	if b.Card() != 0 || b.Runs() != 0 || b.Contains(0) {
+		t.Fatalf("empty set misbehaves: card=%d runs=%d", b.Card(), b.Runs())
+	}
+}
+
+func TestRunCoalescing(t *testing.T) {
+	b := FromSorted([]int{1, 2, 3, 7, 8, 20})
+	if b.Runs() != 3 {
+		t.Fatalf("Runs = %d, want 3", b.Runs())
+	}
+	if b.Card() != 6 {
+		t.Fatalf("Card = %d, want 6", b.Card())
+	}
+	for _, id := range []int{1, 2, 3, 7, 8, 20} {
+		if !b.Contains(id) {
+			t.Errorf("missing %d", id)
+		}
+	}
+	for _, id := range []int{0, 4, 6, 9, 19, 21} {
+		if b.Contains(id) {
+			t.Errorf("spurious %d", id)
+		}
+	}
+}
+
+func TestIDsRoundTrip(t *testing.T) {
+	in := []int{0, 5, 6, 7, 100}
+	b := FromSorted(in)
+	out := b.IDs()
+	if len(out) != len(in) {
+		t.Fatalf("IDs = %v", out)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("IDs[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFromUnsortedDedup(t *testing.T) {
+	b := FromUnsorted([]int{5, 1, 5, 3, 1})
+	if b.Card() != 3 {
+		t.Fatalf("Card = %d, want 3", b.Card())
+	}
+	want := []int{1, 3, 5}
+	for i, id := range b.IDs() {
+		if id != want[i] {
+			t.Fatalf("IDs = %v", b.IDs())
+		}
+	}
+}
+
+func TestOrAddRemove(t *testing.T) {
+	a := FromSorted([]int{1, 2, 10})
+	b := FromSorted([]int{2, 3})
+	u := a.Or(b)
+	if u.Card() != 4 || !u.Contains(3) || !u.Contains(10) {
+		t.Fatalf("Or = %v", u.IDs())
+	}
+	// Originals untouched.
+	if a.Card() != 3 || b.Card() != 2 {
+		t.Fatal("Or mutated operands")
+	}
+	w := a.Add(0, 11)
+	if w.Card() != 5 || !w.Contains(0) || !w.Contains(11) {
+		t.Fatalf("Add = %v", w.IDs())
+	}
+	r := w.Remove(0, 10)
+	if r.Card() != 3 || r.Contains(0) || r.Contains(10) {
+		t.Fatalf("Remove = %v", r.IDs())
+	}
+}
+
+// Property: membership after FromUnsorted matches a map-based set, and
+// runs never exceed cardinality.
+func TestQuickMembership(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ids := make([]int, len(raw))
+		set := make(map[int]bool)
+		for i, v := range raw {
+			ids[i] = int(v)
+			set[int(v)] = true
+		}
+		b := FromUnsorted(ids)
+		if b.Card() != len(set) || b.Runs() > b.Card() {
+			return false
+		}
+		for id := range set {
+			if !b.Contains(id) {
+				return false
+			}
+		}
+		// Probe a few non-members.
+		for i := 0; i < 10; i++ {
+			probe := rand.Intn(1 << 16)
+			if b.Contains(probe) != set[probe] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is the set union.
+func TestQuickOr(t *testing.T) {
+	f := func(x, y []uint8) bool {
+		xs := make([]int, len(x))
+		for i, v := range x {
+			xs[i] = int(v)
+		}
+		ys := make([]int, len(y))
+		for i, v := range y {
+			ys[i] = int(v)
+		}
+		u := FromUnsorted(xs).Or(FromUnsorted(ys))
+		want := make(map[int]bool)
+		for _, v := range xs {
+			want[v] = true
+		}
+		for _, v := range ys {
+			want[v] = true
+		}
+		if u.Card() != len(want) {
+			return false
+		}
+		ids := u.IDs()
+		if !sort.IntsAreSorted(ids) {
+			return false
+		}
+		for _, id := range ids {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted accepted unsorted input")
+		}
+	}()
+	FromSorted([]int{3, 1})
+}

@@ -1,0 +1,29 @@
+package sampling
+
+import "xcluster/internal/wire"
+
+// Encode writes the summary: population size, seed, and the sorted
+// sample delta-encoded.
+func (s *Summary) Encode(w *wire.Writer) {
+	w.Float(s.total)
+	w.Int(int(s.seed))
+	w.Uint(uint64(len(s.sample)))
+	prev := 0
+	for _, v := range s.sample {
+		w.Int(v - prev)
+		prev = v
+	}
+}
+
+// Decode reads a summary written by Encode.
+func Decode(r *wire.Reader) *Summary {
+	s := &Summary{total: r.Float(), seed: int64(r.Int())}
+	n := int(r.Uint())
+	prev := 0
+	for i := 0; i < n && r.Err() == nil; i++ {
+		v := prev + r.Int()
+		s.sample = append(s.sample, v)
+		prev = v
+	}
+	return s
+}

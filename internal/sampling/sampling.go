@@ -1,0 +1,154 @@
+// Package sampling implements random-sample synopses of numeric value
+// distributions — the third NUMERIC summarization tool the paper cites
+// (Lipton, Naughton, Schneider and Seshadri's sampling estimators).
+// A fixed-size uniform reservoir represents the distribution; a range
+// query is answered by the sample fraction scaled to the population.
+// Sampling is seeded and deterministic so synopsis construction is
+// reproducible.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ValueBytes is the storage charged per retained sample value.
+const ValueBytes = 4
+
+// Summary is a uniform random sample of a numeric value collection.
+type Summary struct {
+	total  float64 // population size
+	sample []int   // sorted sample
+	seed   int64
+}
+
+// Build draws a deterministic uniform sample of size at most k from
+// values.
+func Build(values []int, k int, seed int64) *Summary {
+	s := &Summary{total: float64(len(values)), seed: seed}
+	if k <= 0 || len(values) == 0 {
+		return s
+	}
+	if len(values) <= k {
+		s.sample = append([]int(nil), values...)
+	} else {
+		// Vitter's reservoir algorithm R.
+		rng := rand.New(rand.NewSource(seed))
+		s.sample = append([]int(nil), values[:k]...)
+		for i := k; i < len(values); i++ {
+			if j := rng.Intn(i + 1); j < k {
+				s.sample[j] = values[i]
+			}
+		}
+	}
+	sort.Ints(s.sample)
+	return s
+}
+
+// Total returns the population size.
+func (s *Summary) Total() float64 { return s.total }
+
+// Size returns the number of retained sample values.
+func (s *Summary) Size() int { return len(s.sample) }
+
+// SizeBytes returns the storage charge.
+func (s *Summary) SizeBytes() int { return len(s.sample) * ValueBytes }
+
+// Bounds returns the sampled value range.
+func (s *Summary) Bounds() (int, int, bool) {
+	if len(s.sample) == 0 {
+		return 0, 0, false
+	}
+	return s.sample[0], s.sample[len(s.sample)-1], true
+}
+
+// EstimateRange returns the estimated number of population values in
+// [lo, hi]: the sample fraction scaled by the population size.
+func (s *Summary) EstimateRange(lo, hi int) float64 {
+	if len(s.sample) == 0 || hi < lo {
+		return 0
+	}
+	first := sort.SearchInts(s.sample, lo)
+	last := sort.SearchInts(s.sample, hi+1)
+	return float64(last-first) / float64(len(s.sample)) * s.total
+}
+
+// Selectivity returns the estimated fraction of values in [lo, hi].
+func (s *Summary) Selectivity(lo, hi int) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.EstimateRange(lo, hi) / s.total
+}
+
+// Compress returns a copy with b fewer sample values (a deterministic
+// uniform sub-sample) and the count actually removed.
+func (s *Summary) Compress(b int) (*Summary, int) {
+	if b <= 0 || len(s.sample) <= 1 {
+		return s, 0
+	}
+	keep := len(s.sample) - b
+	if keep < 1 {
+		keep = 1
+		b = len(s.sample) - 1
+	}
+	out := &Summary{total: s.total, seed: s.seed + 1}
+	rng := rand.New(rand.NewSource(out.seed))
+	perm := rng.Perm(len(s.sample))[:keep]
+	sort.Ints(perm)
+	out.sample = make([]int, keep)
+	for i, idx := range perm {
+		out.sample[i] = s.sample[idx]
+	}
+	sort.Ints(out.sample)
+	return out, b
+}
+
+// Merge fuses two sample summaries: a weighted sub-sample of the union
+// whose size is the larger of the two inputs.
+func Merge(a, b *Summary) *Summary {
+	if a == nil || a.total == 0 {
+		return b.clone()
+	}
+	if b == nil || b.total == 0 {
+		return a.clone()
+	}
+	k := max(len(a.sample), len(b.sample))
+	out := &Summary{total: a.total + b.total, seed: a.seed ^ (b.seed << 1)}
+	// Weighted sampling: each input contributes proportionally to its
+	// population share; deterministic via the combined seed.
+	rng := rand.New(rand.NewSource(out.seed))
+	fracA := a.total / out.total
+	for i := 0; i < k; i++ {
+		if rng.Float64() < fracA {
+			out.sample = append(out.sample, a.sample[rng.Intn(len(a.sample))])
+		} else {
+			out.sample = append(out.sample, b.sample[rng.Intn(len(b.sample))])
+		}
+	}
+	sort.Ints(out.sample)
+	return out
+}
+
+func (s *Summary) clone() *Summary {
+	if s == nil {
+		return &Summary{}
+	}
+	out := &Summary{total: s.total, seed: s.seed, sample: append([]int(nil), s.sample...)}
+	return out
+}
+
+// Validate checks internal invariants.
+func (s *Summary) Validate() error {
+	if s.total < 0 {
+		return fmt.Errorf("sampling: negative total %g", s.total)
+	}
+	if float64(len(s.sample)) > s.total {
+		return fmt.Errorf("sampling: sample %d larger than population %g", len(s.sample), s.total)
+	}
+	if !sort.IntsAreSorted(s.sample) {
+		return fmt.Errorf("sampling: sample not sorted")
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSmallPopulationIsExact(t *testing.T) {
+	values := []int{5, 1, 9, 1, 7}
+	s := Build(values, 10, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 5 || s.Total() != 5 {
+		t.Fatalf("size=%d total=%g", s.Size(), s.Total())
+	}
+	if got := s.EstimateRange(1, 1); got != 2 {
+		t.Fatalf("EstimateRange(1,1) = %g", got)
+	}
+	if got := s.EstimateRange(0, 10); got != 5 {
+		t.Fatalf("full range = %g", got)
+	}
+	if got := s.EstimateRange(2, 4); got != 0 {
+		t.Fatalf("empty range = %g", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]int, 5000)
+	for i := range values {
+		values[i] = rng.Intn(1000)
+	}
+	a := Build(values, 100, 42)
+	b := Build(values, 100, 42)
+	if a.Size() != b.Size() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.sample {
+		if a.sample[i] != b.sample[i] {
+			t.Fatal("same seed, different samples")
+		}
+	}
+}
+
+func TestSamplingAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	values := make([]int, 20000)
+	for i := range values {
+		values[i] = rng.Intn(100) // uniform over [0,100)
+	}
+	s := Build(values, 500, 7)
+	if s.Size() != 500 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	// Range [0,49] holds ~50% of the population; a 500-sample estimate
+	// should land within a few standard errors (~±7%).
+	got := s.Selectivity(0, 49)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Fatalf("selectivity = %g, want ~0.5", got)
+	}
+	// Scaling: estimates are in population units.
+	if est := s.EstimateRange(0, 99); math.Abs(est-20000) > 1e-9 {
+		t.Fatalf("full-range estimate = %g", est)
+	}
+}
+
+func TestCompress(t *testing.T) {
+	values := make([]int, 1000)
+	for i := range values {
+		values[i] = i
+	}
+	s := Build(values, 200, 3)
+	c, removed := s.Compress(150)
+	if removed != 150 || c.Size() != 50 {
+		t.Fatalf("removed=%d size=%d", removed, c.Size())
+	}
+	if s.Size() != 200 {
+		t.Fatal("Compress mutated receiver")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Never compresses to zero.
+	c2, _ := s.Compress(1 << 20)
+	if c2.Size() < 1 {
+		t.Fatal("compressed away the whole sample")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	va := make([]int, 5000)
+	vb := make([]int, 5000)
+	for i := range va {
+		va[i] = rng.Intn(50) // low values
+		vb[i] = 50 + rng.Intn(50)
+	}
+	a := Build(va, 200, 1)
+	b := Build(vb, 200, 2)
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 10000 {
+		t.Fatalf("Total = %g", m.Total())
+	}
+	// Each half holds ~50% of the merged mass.
+	if got := m.Selectivity(0, 49); math.Abs(got-0.5) > 0.12 {
+		t.Fatalf("low-half selectivity = %g", got)
+	}
+	if got := Merge(a, nil); got.Total() != a.Total() {
+		t.Fatal("Merge(a,nil) broken")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := Build(nil, 10, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.EstimateRange(0, 10) != 0 || s.Selectivity(0, 10) != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if _, _, ok := s.Bounds(); ok {
+		t.Fatal("empty summary has bounds")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := Build([]int{3, 1, 2}, 10, 1)
+	s.sample[0], s.sample[2] = s.sample[2], s.sample[0] // unsort
+	if err := s.Validate(); err == nil {
+		t.Fatal("unsorted sample accepted")
+	}
+	s2 := Build([]int{1, 2}, 10, 1)
+	s2.total = 1 // sample larger than population
+	if err := s2.Validate(); err == nil {
+		t.Fatal("oversized sample accepted")
+	}
+}

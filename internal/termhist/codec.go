@@ -1,0 +1,43 @@
+package termhist
+
+import (
+	"sort"
+
+	"xcluster/internal/rle"
+	"xcluster/internal/wire"
+)
+
+// Encode writes the histogram: element count, indexed terms (sorted by
+// id), the uniform-bucket bitmap, and its mass.
+func (h *Hist) Encode(w *wire.Writer) {
+	w.Float(h.n)
+	w.Uint(uint64(len(h.top)))
+	ids := make([]int, 0, len(h.top))
+	for t := range h.top {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	prev := 0
+	for _, t := range ids {
+		w.Uint(uint64(t - prev))
+		w.Float(h.top[t])
+		prev = t
+	}
+	h.bitmap.Encode(w)
+	w.Float(h.mass)
+}
+
+// Decode reads a histogram written by Encode.
+func Decode(r *wire.Reader) *Hist {
+	h := &Hist{n: r.Float(), top: make(map[int]float64)}
+	n := int(r.Uint())
+	prev := 0
+	for i := 0; i < n && r.Err() == nil; i++ {
+		t := prev + int(r.Uint())
+		h.top[t] = r.Float()
+		prev = t
+	}
+	h.bitmap = rle.Decode(r)
+	h.mass = r.Float()
+	return h
+}

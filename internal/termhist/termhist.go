@@ -1,0 +1,247 @@
+// Package termhist implements end-biased term histograms, the paper's
+// novel summary for TEXT content. A TEXT XCluster node is summarized by
+// the centroid of its Boolean term vectors: w[t] is the fraction of
+// elements whose free text contains term t. The end-biased histogram
+// compresses that centroid as
+//
+//   - the top-few term frequencies, retained exactly; and
+//   - a uniform bucket holding a lossless run-length-compressed encoding
+//     of the binary version of the remaining vector entries (1 where
+//     w[t] > 0), plus a single average frequency for those terms.
+//
+// A term lookup first consults the exact part; failing that, it returns
+// the uniform bucket's average if the term's bit is set and 0 otherwise.
+// Keeping the 0/1 part lossless avoids the failure mode of conventional
+// range-bucket histograms on point (term-match) queries: zero-valued
+// entries (non-existent terms) are never conflated with present ones.
+package termhist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xcluster/internal/rle"
+)
+
+// TermBytes is the storage charged per exactly-indexed term (term id plus
+// frequency).
+const TermBytes = 6
+
+// RunBytes is the storage charged per run of the RLE-compressed uniform
+// bucket.
+const RunBytes = 4
+
+// Hist is an end-biased term histogram. The zero value is unusable; use
+// Build or Merge.
+type Hist struct {
+	n      float64         // number of elements summarized
+	top    map[int]float64 // exact fractional frequencies
+	bitmap *rle.Bitset     // uniform bucket membership (term ids)
+	mass   float64         // sum of fractional frequencies in the bucket
+}
+
+// Build constructs a detailed histogram (everything exact, empty uniform
+// bucket) from the term-id vectors of a collection of TEXT elements.
+func Build(vectors [][]int) *Hist {
+	h := &Hist{n: float64(len(vectors)), top: make(map[int]float64), bitmap: rle.FromSorted(nil)}
+	if len(vectors) == 0 {
+		return h
+	}
+	for _, vec := range vectors {
+		for _, t := range vec {
+			h.top[t]++
+		}
+	}
+	for t := range h.top {
+		h.top[t] /= h.n
+	}
+	return h
+}
+
+// Count returns the number of elements summarized.
+func (h *Hist) Count() float64 { return h.n }
+
+// IndexedTerms returns the number of exactly-retained term frequencies.
+func (h *Hist) IndexedTerms() int { return len(h.top) }
+
+// BucketTerms returns the number of terms in the uniform bucket.
+func (h *Hist) BucketTerms() int { return h.bitmap.Card() }
+
+// BucketAvg returns the average fractional frequency of the uniform
+// bucket (0 when the bucket is empty).
+func (h *Hist) BucketAvg() float64 {
+	if c := h.bitmap.Card(); c > 0 {
+		return h.mass / float64(c)
+	}
+	return 0
+}
+
+// SizeBytes returns the storage charge of the histogram.
+func (h *Hist) SizeBytes() int {
+	return len(h.top)*TermBytes + h.bitmap.Runs()*RunBytes
+}
+
+// Frequency returns the (estimated) fractional frequency of term t: exact
+// if indexed, the bucket average if the term's bit is set, 0 otherwise.
+func (h *Hist) Frequency(t int) float64 {
+	if f, ok := h.top[t]; ok {
+		return f
+	}
+	if h.bitmap.Contains(t) {
+		return h.BucketAvg()
+	}
+	return 0
+}
+
+// Selectivity estimates the fraction of elements containing every term in
+// terms (term independence across conjuncts, as in the Boolean IR model).
+func (h *Hist) Selectivity(terms []int) float64 {
+	sel := 1.0
+	for _, t := range terms {
+		sel *= h.Frequency(t)
+		if sel == 0 {
+			return 0
+		}
+	}
+	return sel
+}
+
+// TopTerms returns the indexed term ids sorted by descending frequency
+// (ties by id). These are the atomic term predicates of the Δ metric.
+func (h *Hist) TopTerms() []int {
+	out := make([]int, 0, len(h.top))
+	for t := range h.top {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := h.top[out[i]], h.top[out[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// BucketSample returns up to k term ids from the uniform bucket.
+func (h *Hist) BucketSample(k int) []int {
+	ids := h.bitmap.IDs()
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// Compress performs tv_cmprs(u, b): it demotes the b lowest-frequency
+// indexed terms into the uniform bucket, folding their mass into the
+// bucket average. It returns a new histogram and the number of terms
+// actually demoted (possibly < b when fewer are indexed).
+func (h *Hist) Compress(b int) (*Hist, int) {
+	if b <= 0 || len(h.top) == 0 {
+		return h, 0
+	}
+	terms := h.TopTerms()
+	// Demote from the low-frequency end.
+	if b > len(terms) {
+		b = len(terms)
+	}
+	demote := terms[len(terms)-b:]
+	out := &Hist{n: h.n, top: make(map[int]float64, len(h.top)-b), mass: h.mass}
+	for t, f := range h.top {
+		out.top[t] = f
+	}
+	for _, t := range demote {
+		out.mass += out.top[t]
+		delete(out.top, t)
+	}
+	out.bitmap = h.bitmap.Add(demote...)
+	return out, b
+}
+
+// Merge fuses two histograms into the summary of the combined element
+// collection: the weighted centroid combination
+// w = (|u|·w_u + |v|·w_v) / (|u|+|v|) of the paper's TEXT fusion f().
+// Terms indexed in either input stay indexed; uniform buckets are OR-ed
+// with their masses combined by the same weights.
+func Merge(a, b *Hist) *Hist {
+	if a == nil {
+		return b.Clone()
+	}
+	if b == nil {
+		return a.Clone()
+	}
+	n := a.n + b.n
+	out := &Hist{n: n, top: make(map[int]float64, len(a.top)+len(b.top))}
+	if n == 0 {
+		out.bitmap = rle.FromSorted(nil)
+		return out
+	}
+	indexed := make(map[int]struct{}, len(a.top)+len(b.top))
+	for t := range a.top {
+		indexed[t] = struct{}{}
+	}
+	for t := range b.top {
+		indexed[t] = struct{}{}
+	}
+	for t := range indexed {
+		out.top[t] = (a.n*a.Frequency(t) + b.n*b.Frequency(t)) / n
+	}
+	// Uniform bucket: bits not promoted to the index. A term counted in
+	// an input's bucket but now indexed must not contribute its average
+	// twice, so masses are recomputed from the surviving bits.
+	bits := a.bitmap.Or(b.bitmap)
+	var drop []int
+	for _, t := range bits.IDs() {
+		if _, ok := indexed[t]; ok {
+			drop = append(drop, t)
+		}
+	}
+	out.bitmap = bits.Remove(drop...)
+	mass := 0.0
+	avgA, avgB := a.BucketAvg(), b.BucketAvg()
+	for _, t := range out.bitmap.IDs() {
+		w := 0.0
+		if a.bitmap.Contains(t) {
+			w += a.n * avgA
+		}
+		if b.bitmap.Contains(t) {
+			w += b.n * avgB
+		}
+		mass += w / n
+	}
+	out.mass = mass
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	if h == nil {
+		return nil
+	}
+	out := &Hist{n: h.n, top: make(map[int]float64, len(h.top)), bitmap: h.bitmap, mass: h.mass}
+	for t, f := range h.top {
+		out.top[t] = f
+	}
+	return out
+}
+
+// Validate checks internal invariants: frequencies in [0,1], indexed
+// terms disjoint from the bucket, non-negative mass.
+func (h *Hist) Validate() error {
+	for t, f := range h.top {
+		if f < -1e-9 || f > 1+1e-9 {
+			return fmt.Errorf("termhist: term %d has frequency %g", t, f)
+		}
+		if h.bitmap.Contains(t) {
+			return fmt.Errorf("termhist: term %d both indexed and in the bucket", t)
+		}
+	}
+	if h.mass < -1e-9 {
+		return fmt.Errorf("termhist: negative bucket mass %g", h.mass)
+	}
+	if h.bitmap.Card() == 0 && math.Abs(h.mass) > 1e-9 {
+		return fmt.Errorf("termhist: empty bucket with mass %g", h.mass)
+	}
+	return nil
+}

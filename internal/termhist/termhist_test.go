@@ -1,0 +1,237 @@
+package termhist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBuildExactFrequencies(t *testing.T) {
+	// Vectors over terms 0..3: term 0 in 3/4, term 1 in 2/4, term 2 in
+	// 1/4, term 3 absent.
+	vecs := [][]int{{0, 1}, {0, 1, 2}, {0}, {}}
+	h := Build(vecs)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %g", h.Count())
+	}
+	if !approx(h.Frequency(0), 0.75) || !approx(h.Frequency(1), 0.5) || !approx(h.Frequency(2), 0.25) {
+		t.Fatalf("frequencies: %g %g %g", h.Frequency(0), h.Frequency(1), h.Frequency(2))
+	}
+	if h.Frequency(3) != 0 {
+		t.Fatalf("absent term has frequency %g", h.Frequency(3))
+	}
+	if h.BucketTerms() != 0 {
+		t.Fatal("detailed build has a non-empty bucket")
+	}
+}
+
+func TestSelectivityConjunction(t *testing.T) {
+	vecs := [][]int{{0, 1}, {0, 1}, {0}, {1}}
+	h := Build(vecs)
+	// Term independence: sel(0,1) = 0.75 * 0.75.
+	if got := h.Selectivity([]int{0, 1}); !approx(got, 0.5625) {
+		t.Fatalf("sel(0,1) = %g", got)
+	}
+	if got := h.Selectivity([]int{0, 99}); got != 0 {
+		t.Fatalf("sel with absent term = %g", got)
+	}
+	if got := h.Selectivity(nil); got != 1 {
+		t.Fatalf("empty conjunction = %g", got)
+	}
+}
+
+func TestCompressDemotesLowestFrequencies(t *testing.T) {
+	// Frequencies: t0=1.0, t1=0.75, t2=0.5, t3=0.25.
+	vecs := [][]int{{0, 1, 2, 3}, {0, 1, 2}, {0, 1}, {0}}
+	h := Build(vecs)
+	c, n := h.Compress(2)
+	if n != 2 {
+		t.Fatalf("demoted %d, want 2", n)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IndexedTerms() != 2 {
+		t.Fatalf("indexed = %d", c.IndexedTerms())
+	}
+	// t0, t1 stay exact.
+	if !approx(c.Frequency(0), 1.0) || !approx(c.Frequency(1), 0.75) {
+		t.Fatalf("top frequencies disturbed: %g %g", c.Frequency(0), c.Frequency(1))
+	}
+	// t2, t3 share the bucket average (0.5+0.25)/2 = 0.375.
+	if !approx(c.Frequency(2), 0.375) || !approx(c.Frequency(3), 0.375) {
+		t.Fatalf("bucket frequencies: %g %g", c.Frequency(2), c.Frequency(3))
+	}
+	// Absent terms remain exactly zero — the end-biased property.
+	if c.Frequency(42) != 0 {
+		t.Fatal("absent term leaked frequency")
+	}
+	// Original is untouched.
+	if h.IndexedTerms() != 4 {
+		t.Fatal("Compress mutated the receiver")
+	}
+}
+
+func TestCompressAll(t *testing.T) {
+	vecs := [][]int{{0, 1}, {1}}
+	h := Build(vecs)
+	c, n := h.Compress(100)
+	if n != 2 || c.IndexedTerms() != 0 {
+		t.Fatalf("demoted %d, indexed %d", n, c.IndexedTerms())
+	}
+	// All mass in the bucket: avg = (0.5 + 1.0)/2.
+	if !approx(c.BucketAvg(), 0.75) {
+		t.Fatalf("BucketAvg = %g", c.BucketAvg())
+	}
+	if _, n := c.Compress(1); n != 0 {
+		t.Fatal("compressed an empty index")
+	}
+}
+
+func TestMergeMatchesUnionBuild(t *testing.T) {
+	a := Build([][]int{{0, 1}, {0}})
+	b := Build([][]int{{1, 2}, {2}, {2, 3}})
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u := Build([][]int{{0, 1}, {0}, {1, 2}, {2}, {2, 3}})
+	if m.Count() != u.Count() {
+		t.Fatalf("count %g vs %g", m.Count(), u.Count())
+	}
+	for term := 0; term < 5; term++ {
+		if !approx(m.Frequency(term), u.Frequency(term)) {
+			t.Fatalf("term %d: merged %g, union %g", term, m.Frequency(term), u.Frequency(term))
+		}
+	}
+}
+
+func TestMergeWithCompressedInputs(t *testing.T) {
+	a := Build([][]int{{0, 1, 2}, {0}})
+	ac, _ := a.Compress(2) // demote terms 1,2 into a's bucket
+	b := Build([][]int{{0, 3}})
+	m := Merge(ac, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %g", m.Count())
+	}
+	// Term 0 is indexed in both: exact weighted combination
+	// (2*1.0 + 1*1.0)/3 = 1.0.
+	if !approx(m.Frequency(0), 1.0) {
+		t.Fatalf("f(0) = %g", m.Frequency(0))
+	}
+	// Term 3 indexed only in b: (2*0 + 1*1.0)/3.
+	if !approx(m.Frequency(3), 1.0/3) {
+		t.Fatalf("f(3) = %g", m.Frequency(3))
+	}
+	// Terms 1,2 live in the merged bucket with weighted average mass.
+	if m.Frequency(1) <= 0 || m.Frequency(2) <= 0 {
+		t.Fatalf("bucket terms lost: %g %g", m.Frequency(1), m.Frequency(2))
+	}
+	// Total mass conservation: sum of all frequencies × n equals the
+	// total number of (element, term) incidences, approximately.
+	total := 0.0
+	for term := 0; term < 5; term++ {
+		total += m.Frequency(term) * m.Count()
+	}
+	if math.Abs(total-6) > 1e-6 { // incidences: {0,1,2},{0},{0,3} = 6
+		t.Fatalf("total incidence mass = %g, want 6", total)
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	a := Build([][]int{{0}})
+	if m := Merge(a, nil); m.Count() != 1 || !approx(m.Frequency(0), 1) {
+		t.Fatal("Merge(a, nil) not a clone")
+	}
+	if m := Merge(nil, a); m.Count() != 1 {
+		t.Fatal("Merge(nil, a) not a clone")
+	}
+}
+
+func TestTopTermsOrder(t *testing.T) {
+	vecs := [][]int{{5, 9}, {5}, {5, 9, 2}, {5}}
+	h := Build(vecs)
+	top := h.TopTerms()
+	if len(top) != 3 || top[0] != 5 || top[1] != 9 || top[2] != 2 {
+		t.Fatalf("TopTerms = %v", top)
+	}
+}
+
+func TestSizeAccountingShrinks(t *testing.T) {
+	// 64 scattered terms: compressing should reduce the byte charge once
+	// enough terms land in (contiguous runs of) the bucket.
+	vecs := make([][]int, 8)
+	for i := range vecs {
+		for t := 0; t < 64; t++ {
+			if (t+i)%3 == 0 {
+				vecs[i] = append(vecs[i], t)
+			}
+		}
+	}
+	h := Build(vecs)
+	before := h.SizeBytes()
+	c, _ := h.Compress(h.IndexedTerms())
+	if c.SizeBytes() >= before {
+		t.Fatalf("full compression did not shrink: %d -> %d", before, c.SizeBytes())
+	}
+}
+
+func TestRandomizedMergeCentroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		mk := func(n int) [][]int {
+			vecs := make([][]int, n)
+			for i := range vecs {
+				for term := 0; term < 30; term++ {
+					if rng.Intn(4) == 0 {
+						vecs[i] = append(vecs[i], term)
+					}
+				}
+			}
+			return vecs
+		}
+		va, vb := mk(rng.Intn(10)+1), mk(rng.Intn(10)+1)
+		m := Merge(Build(va), Build(vb))
+		u := Build(append(append([][]int{}, va...), vb...))
+		for term := 0; term < 30; term++ {
+			if !approx(m.Frequency(term), u.Frequency(term)) {
+				t.Fatalf("iter %d term %d: %g vs %g", iter, term, m.Frequency(term), u.Frequency(term))
+			}
+		}
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	h := Build(nil)
+	if h.Count() != 0 || h.Frequency(0) != 0 {
+		t.Fatal("empty build misbehaves")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketSample(t *testing.T) {
+	h := Build([][]int{{0, 1, 2, 3, 4}})
+	c, _ := h.Compress(5)
+	sample := c.BucketSample(3)
+	if len(sample) != 3 {
+		t.Fatalf("BucketSample = %v", sample)
+	}
+	for _, id := range sample {
+		if !c.bitmap.Contains(id) {
+			t.Fatalf("sampled id %d not in bucket", id)
+		}
+	}
+	if got := c.BucketSample(100); len(got) != 5 {
+		t.Fatalf("oversized sample = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package vsum
+
+import (
+	"fmt"
+
+	"xcluster/internal/histogram"
+	"xcluster/internal/pst"
+	"xcluster/internal/sampling"
+	"xcluster/internal/termhist"
+	"xcluster/internal/wavelet"
+	"xcluster/internal/wire"
+)
+
+// Wire tags for the concrete summary implementations. The first three
+// coincide with the xmltree.ValueType values of the summaries' types.
+const (
+	tagHistogram = 1
+	tagPST       = 2
+	tagTermHist  = 3
+	tagWavelet   = 4
+	tagSample    = 5
+)
+
+// Encode writes a summary with a one-byte implementation tag.
+func Encode(w *wire.Writer, s Summary) {
+	switch v := s.(type) {
+	case *Numeric:
+		w.Uint(tagHistogram)
+		v.H.Encode(w)
+	case *String:
+		w.Uint(tagPST)
+		v.T.Encode(w)
+	case *Text:
+		w.Uint(tagTermHist)
+		v.H.Encode(w)
+	case *NumericWavelet:
+		w.Uint(tagWavelet)
+		v.S.Encode(w)
+	case *NumericSample:
+		w.Uint(tagSample)
+		v.S.Encode(w)
+	default:
+		panic(fmt.Sprintf("vsum: Encode: unknown summary %T", s))
+	}
+}
+
+// Decode reads a summary written by Encode.
+func Decode(r *wire.Reader) (Summary, error) {
+	tag := r.Uint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	switch tag {
+	case tagHistogram:
+		return &Numeric{H: histogram.Decode(r)}, r.Err()
+	case tagPST:
+		return &String{T: pst.Decode(r)}, r.Err()
+	case tagTermHist:
+		return &Text{H: termhist.Decode(r)}, r.Err()
+	case tagWavelet:
+		return &NumericWavelet{S: wavelet.Decode(r)}, r.Err()
+	case tagSample:
+		return &NumericSample{S: sampling.Decode(r)}, r.Err()
+	default:
+		return nil, fmt.Errorf("vsum: Decode: unknown summary type %d", tag)
+	}
+}

@@ -1,0 +1,106 @@
+package vsum
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"xcluster/internal/query"
+	"xcluster/internal/wire"
+	"xcluster/internal/xmltree"
+)
+
+// roundTrip encodes and decodes a summary.
+func roundTrip(t *testing.T, s Summary) Summary {
+	t.Helper()
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	Encode(w, s)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(wire.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestCodecAllSummaryKinds(t *testing.T) {
+	d := xmltree.NewDict()
+	vals := []int{1, 5, 5, 9, 42, 42, 42, 100}
+	texts := textNodes(d, "alpha beta gamma", "alpha delta", "beta epsilon zeta")
+	var textVecs [][]int
+	for _, n := range texts {
+		textVecs = append(textVecs, n.Terms)
+	}
+
+	summaries := []Summary{
+		NewNumeric(vals, 3),
+		NewNumericWavelet(vals, 6),
+		NewNumericSample(vals, 5, 7),
+		NewString([]string{"database", "dataset", "index"}, 4),
+		NewText(textVecs),
+	}
+	// Also a compressed text histogram so the RLE bucket is non-empty.
+	tx := NewText(textVecs)
+	cApplied, _, steps := tx.Compress(3)
+	if steps > 0 {
+		summaries = append(summaries, cApplied)
+	}
+
+	preds := []query.Pred{
+		query.Range{Lo: 0, Hi: 50},
+		query.Range{Lo: 42, Hi: 42},
+		query.Contains{Substr: "data"},
+		query.FTContains{Terms: []string{"alpha"}},
+		query.FTSim{Terms: []string{"alpha", "beta"}, Min: 1},
+	}
+	for _, s := range summaries {
+		back := roundTrip(t, s)
+		if back.Type() != s.Type() {
+			t.Fatalf("%T: type changed to %v", s, back.Type())
+		}
+		if back.Count() != s.Count() {
+			t.Fatalf("%T: count %g -> %g", s, s.Count(), back.Count())
+		}
+		if back.SizeBytes() != s.SizeBytes() {
+			t.Fatalf("%T: size %d -> %d", s, s.SizeBytes(), back.SizeBytes())
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%T: %v", s, err)
+		}
+		for _, p := range preds {
+			a, b := s.PredSel(p, d), back.PredSel(p, d)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%T pred %v: %g -> %g", s, p, a, b)
+			}
+		}
+		// Atomics survive too.
+		for _, at := range s.Atomics(8) {
+			if x, y := s.AtomicSel(at), back.AtomicSel(at); math.Abs(x-y) > 1e-12 {
+				t.Fatalf("%T atomic %+v: %g -> %g", s, at, x, y)
+			}
+		}
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	// Unknown tag.
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Uint(99)
+	_ = w.Flush()
+	if _, err := Decode(wire.NewReader(&buf)); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	// Truncated stream.
+	var buf2 bytes.Buffer
+	w2 := wire.NewWriter(&buf2)
+	Encode(w2, NewNumeric([]int{1, 2, 3}, 0))
+	_ = w2.Flush()
+	data := buf2.Bytes()
+	if _, err := Decode(wire.NewReader(bytes.NewReader(data[:len(data)/2]))); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

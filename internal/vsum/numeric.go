@@ -1,0 +1,103 @@
+package vsum
+
+import (
+	"fmt"
+
+	"xcluster/internal/histogram"
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// Numeric summarizes NUMERIC values with a bucketized histogram.
+type Numeric struct {
+	H *histogram.Histogram
+}
+
+// NewNumeric builds a numeric summary (maxBuckets <= 0 keeps one bucket
+// per distinct value, the detailed reference form).
+func NewNumeric(values []int, maxBuckets int) *Numeric {
+	return &Numeric{H: histogram.Build(values, maxBuckets)}
+}
+
+// Type implements Summary.
+func (s *Numeric) Type() xmltree.ValueType { return xmltree.TypeNumeric }
+
+// Count implements Summary.
+func (s *Numeric) Count() float64 { return s.H.Total() }
+
+// SizeBytes implements Summary.
+func (s *Numeric) SizeBytes() int { return s.H.SizeBytes() }
+
+// Atomics implements Summary: prefix ranges [domainMin, h] at every
+// bucket boundary, per Section 4.1 of the paper (prefix ranges avoid
+// introducing zero-count holes in merged histograms).
+func (s *Numeric) Atomics(limit int) []Atomic {
+	lo, _, ok := s.H.Bounds()
+	if !ok {
+		return nil
+	}
+	bounds := s.H.Boundaries()
+	if limit > 0 && len(bounds) > limit {
+		// Thin evenly, always keeping the last boundary.
+		thinned := make([]int, 0, limit)
+		step := float64(len(bounds)) / float64(limit)
+		for i := 0; i < limit; i++ {
+			thinned = append(thinned, bounds[int(float64(i)*step)])
+		}
+		thinned[limit-1] = bounds[len(bounds)-1]
+		bounds = thinned
+	}
+	out := make([]Atomic, len(bounds))
+	for i, h := range bounds {
+		out[i] = Atomic{Kind: xmltree.TypeNumeric, Lo: lo, Hi: h}
+	}
+	return out
+}
+
+// AtomicSel implements Summary.
+func (s *Numeric) AtomicSel(a Atomic) float64 {
+	if a.Kind != xmltree.TypeNumeric {
+		return 0
+	}
+	return s.H.Selectivity(a.Lo, a.Hi)
+}
+
+// PredSel implements Summary.
+func (s *Numeric) PredSel(p query.Pred, _ *xmltree.Dict) float64 {
+	r, ok := p.(query.Range)
+	if !ok {
+		return 0
+	}
+	return s.H.Selectivity(r.Lo, r.Hi)
+}
+
+// Fuse implements Summary.
+func (s *Numeric) Fuse(other Summary) Summary {
+	o, ok := other.(*Numeric)
+	if !ok {
+		panic(fmt.Sprintf("vsum: fusing numeric with %T", other))
+	}
+	return &Numeric{H: histogram.Merge(s.H, o.H)}
+}
+
+// Compress implements Summary (hist_cmprs): up to b adjacent-bucket
+// merges, each chosen to least perturb the atomic prefix-range estimates.
+func (s *Numeric) Compress(b int) (Summary, int, int) {
+	h := s.H
+	steps := 0
+	for steps < b {
+		c, ok := h.CompressOnce()
+		if !ok {
+			break
+		}
+		h = c
+		steps++
+	}
+	if steps == 0 {
+		return s, 0, 0
+	}
+	return &Numeric{H: h}, s.H.SizeBytes() - h.SizeBytes(), steps
+}
+
+// Validate implements Summary.
+func (s *Numeric) Validate() error { return s.H.Validate() }

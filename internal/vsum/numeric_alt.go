@@ -1,0 +1,181 @@
+package vsum
+
+import (
+	"fmt"
+
+	"xcluster/internal/query"
+	"xcluster/internal/sampling"
+	"xcluster/internal/wavelet"
+	"xcluster/internal/xmltree"
+)
+
+// NumericKind selects the NUMERIC summarization tool. The paper focuses
+// on histograms but notes that "several known tools can be employed,
+// including histograms, wavelets, and random sampling"; all three are
+// implemented and compared in the ablation benchmarks.
+type NumericKind uint8
+
+const (
+	// KindHistogram is the paper's primary choice (default).
+	KindHistogram NumericKind = iota
+	// KindWavelet uses Haar-wavelet synopses.
+	KindWavelet
+	// KindSample uses uniform random samples.
+	KindSample
+)
+
+// NumericWavelet summarizes NUMERIC values with a Haar-wavelet synopsis.
+type NumericWavelet struct {
+	S *wavelet.Summary
+}
+
+// NewNumericWavelet builds a wavelet summary (maxCoeffs <= 0 keeps every
+// non-zero coefficient, the detailed form).
+func NewNumericWavelet(values []int, maxCoeffs int) *NumericWavelet {
+	return &NumericWavelet{S: wavelet.Build(values, maxCoeffs)}
+}
+
+// Type implements Summary.
+func (s *NumericWavelet) Type() xmltree.ValueType { return xmltree.TypeNumeric }
+
+// Count implements Summary.
+func (s *NumericWavelet) Count() float64 { return s.S.Total() }
+
+// SizeBytes implements Summary.
+func (s *NumericWavelet) SizeBytes() int { return s.S.SizeBytes() }
+
+// Atomics implements Summary: prefix ranges at evenly spaced points of
+// the covered domain.
+func (s *NumericWavelet) Atomics(limit int) []Atomic {
+	lo, hi, ok := s.S.Bounds()
+	if !ok {
+		return nil
+	}
+	if limit <= 0 || limit > 16 {
+		limit = 16
+	}
+	out := make([]Atomic, 0, limit)
+	for i := 1; i <= limit; i++ {
+		h := lo + (hi-lo)*i/limit
+		out = append(out, Atomic{Kind: xmltree.TypeNumeric, Lo: lo, Hi: h})
+	}
+	return out
+}
+
+// AtomicSel implements Summary.
+func (s *NumericWavelet) AtomicSel(a Atomic) float64 {
+	if a.Kind != xmltree.TypeNumeric {
+		return 0
+	}
+	return s.S.Selectivity(a.Lo, a.Hi)
+}
+
+// PredSel implements Summary.
+func (s *NumericWavelet) PredSel(p query.Pred, _ *xmltree.Dict) float64 {
+	r, ok := p.(query.Range)
+	if !ok {
+		return 0
+	}
+	return s.S.Selectivity(r.Lo, r.Hi)
+}
+
+// Fuse implements Summary.
+func (s *NumericWavelet) Fuse(other Summary) Summary {
+	o, ok := other.(*NumericWavelet)
+	if !ok {
+		panic(fmt.Sprintf("vsum: fusing wavelet with %T", other))
+	}
+	return &NumericWavelet{S: wavelet.Merge(s.S, o.S, 0)}
+}
+
+// Compress implements Summary: drops the b smallest-magnitude
+// coefficients.
+func (s *NumericWavelet) Compress(b int) (Summary, int, int) {
+	c, dropped := s.S.Compress(b)
+	if dropped == 0 {
+		return s, 0, 0
+	}
+	return &NumericWavelet{S: c}, s.S.SizeBytes() - c.SizeBytes(), dropped
+}
+
+// Validate implements Summary.
+func (s *NumericWavelet) Validate() error { return s.S.Validate() }
+
+// NumericSample summarizes NUMERIC values with a uniform random sample.
+type NumericSample struct {
+	S *sampling.Summary
+}
+
+// NewNumericSample builds a sample summary of size at most k (<= 0 uses
+// the full collection).
+func NewNumericSample(values []int, k int, seed int64) *NumericSample {
+	if k <= 0 {
+		k = len(values)
+	}
+	return &NumericSample{S: sampling.Build(values, k, seed)}
+}
+
+// Type implements Summary.
+func (s *NumericSample) Type() xmltree.ValueType { return xmltree.TypeNumeric }
+
+// Count implements Summary.
+func (s *NumericSample) Count() float64 { return s.S.Total() }
+
+// SizeBytes implements Summary.
+func (s *NumericSample) SizeBytes() int { return s.S.SizeBytes() }
+
+// Atomics implements Summary: prefix ranges at evenly spaced points of
+// the sampled domain.
+func (s *NumericSample) Atomics(limit int) []Atomic {
+	lo, hi, ok := s.S.Bounds()
+	if !ok {
+		return nil
+	}
+	if limit <= 0 || limit > 16 {
+		limit = 16
+	}
+	out := make([]Atomic, 0, limit)
+	for i := 1; i <= limit; i++ {
+		h := lo + (hi-lo)*i/limit
+		out = append(out, Atomic{Kind: xmltree.TypeNumeric, Lo: lo, Hi: h})
+	}
+	return out
+}
+
+// AtomicSel implements Summary.
+func (s *NumericSample) AtomicSel(a Atomic) float64 {
+	if a.Kind != xmltree.TypeNumeric {
+		return 0
+	}
+	return s.S.Selectivity(a.Lo, a.Hi)
+}
+
+// PredSel implements Summary.
+func (s *NumericSample) PredSel(p query.Pred, _ *xmltree.Dict) float64 {
+	r, ok := p.(query.Range)
+	if !ok {
+		return 0
+	}
+	return s.S.Selectivity(r.Lo, r.Hi)
+}
+
+// Fuse implements Summary.
+func (s *NumericSample) Fuse(other Summary) Summary {
+	o, ok := other.(*NumericSample)
+	if !ok {
+		panic(fmt.Sprintf("vsum: fusing sample with %T", other))
+	}
+	return &NumericSample{S: sampling.Merge(s.S, o.S)}
+}
+
+// Compress implements Summary: removes b sample values.
+func (s *NumericSample) Compress(b int) (Summary, int, int) {
+	c, removed := s.S.Compress(b)
+	if removed == 0 {
+		return s, 0, 0
+	}
+	return &NumericSample{S: c}, s.S.SizeBytes() - c.SizeBytes(), removed
+}
+
+// Validate implements Summary.
+func (s *NumericSample) Validate() error { return s.S.Validate() }

@@ -1,0 +1,118 @@
+package vsum
+
+import (
+	"math"
+	"testing"
+
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+func altNodes(vals ...int) []*xmltree.Node {
+	out := make([]*xmltree.Node, len(vals))
+	for i, v := range vals {
+		out[i] = &xmltree.Node{ID: i, Label: "y", Type: xmltree.TypeNumeric, Num: v}
+	}
+	return out
+}
+
+func TestNumericKindDispatch(t *testing.T) {
+	nodes := altNodes(1, 5, 9, 13)
+	for kind, wantType := range map[NumericKind]string{
+		KindHistogram: "*vsum.Numeric",
+		KindWavelet:   "*vsum.NumericWavelet",
+		KindSample:    "*vsum.NumericSample",
+	} {
+		s, err := FromNodes(nodes, BuildOptions{Numeric: kind})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if got := typeName(s); got != wantType {
+			t.Fatalf("kind %d: built %s, want %s", kind, got, wantType)
+		}
+		if s.Count() != 4 {
+			t.Fatalf("kind %d: count %g", kind, s.Count())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+	}
+}
+
+func typeName(s Summary) string {
+	switch s.(type) {
+	case *Numeric:
+		return "*vsum.Numeric"
+	case *NumericWavelet:
+		return "*vsum.NumericWavelet"
+	case *NumericSample:
+		return "*vsum.NumericSample"
+	}
+	return "?"
+}
+
+func TestAltSummariesBehaveLikeSummaries(t *testing.T) {
+	vals := []int{1, 2, 3, 10, 10, 10, 20, 30}
+	for _, s := range []Summary{
+		NewNumericWavelet(vals, 0),
+		NewNumericSample(vals, 0, 1),
+	} {
+		// Detailed forms answer the full range exactly.
+		if got := s.PredSel(query.Range{Lo: 0, Hi: 100}, nil); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("%T: full-range sel %g", s, got)
+		}
+		// The heavy value carries ~3/8 of the mass.
+		got := s.PredSel(query.Range{Lo: 10, Hi: 10}, nil)
+		if math.Abs(got-3.0/8) > 0.15 {
+			t.Fatalf("%T: point sel %g, want ~0.375", s, got)
+		}
+		// Mismatched predicate kind → 0.
+		if got := s.PredSel(query.Contains{Substr: "x"}, nil); got != 0 {
+			t.Fatalf("%T: mismatched pred %g", s, got)
+		}
+		// Atomics are monotone prefix ranges.
+		atoms := s.Atomics(8)
+		prev := 0.0
+		for _, a := range atoms {
+			sel := s.AtomicSel(a)
+			if sel < prev-1e-9 {
+				t.Fatalf("%T: atomics not monotone", s)
+			}
+			prev = sel
+		}
+		// Compression shrinks without changing the count.
+		c, saved, steps := s.Compress(2)
+		if steps > 0 {
+			if saved <= 0 || c.Count() != s.Count() {
+				t.Fatalf("%T: compress saved=%d count=%g", s, saved, c.Count())
+			}
+		}
+	}
+}
+
+func TestAltFuse(t *testing.T) {
+	aw := NewNumericWavelet([]int{1, 2, 3}, 0)
+	bw := NewNumericWavelet([]int{10, 20}, 0)
+	fw := aw.Fuse(bw)
+	if fw.Count() != 5 {
+		t.Fatalf("wavelet fuse count = %g", fw.Count())
+	}
+	if got := fw.PredSel(query.Range{Lo: 0, Hi: 100}, nil); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("wavelet fuse full sel = %g", got)
+	}
+	as := NewNumericSample([]int{1, 2, 3}, 0, 1)
+	bs := NewNumericSample([]int{10, 20}, 0, 2)
+	fs := as.Fuse(bs)
+	if fs.Count() != 5 {
+		t.Fatalf("sample fuse count = %g", fs.Count())
+	}
+}
+
+func TestAltFusePanicsAcrossKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind fuse did not panic")
+		}
+	}()
+	NewNumericWavelet([]int{1}, 0).Fuse(NewNumeric([]int{1}, 0))
+}

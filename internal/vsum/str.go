@@ -1,0 +1,98 @@
+package vsum
+
+import (
+	"fmt"
+	"sort"
+
+	"xcluster/internal/pst"
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// String summarizes STRING values with a pruned suffix tree.
+type String struct {
+	T *pst.Tree
+}
+
+// NewString builds a detailed PST summary.
+func NewString(strs []string, maxDepth int) *String {
+	return &String{T: pst.Build(strs, maxDepth)}
+}
+
+// Type implements Summary.
+func (s *String) Type() xmltree.ValueType { return xmltree.TypeString }
+
+// Count implements Summary.
+func (s *String) Count() float64 { return s.T.Count() }
+
+// SizeBytes implements Summary.
+func (s *String) SizeBytes() int { return s.T.SizeBytes() }
+
+// Atomics implements Summary: the substrings retained in the PST. When a
+// cap applies, the highest-count substrings are kept (they dominate the
+// squared-error sums of the Δ metric).
+func (s *String) Atomics(limit int) []Atomic {
+	type sc struct {
+		sub   string
+		count float64
+	}
+	var all []sc
+	s.T.Substrings(func(str string, count float64) bool {
+		all = append(all, sc{sub: str, count: count})
+		return true
+	})
+	if limit > 0 && len(all) > limit {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].count != all[j].count {
+				return all[i].count > all[j].count
+			}
+			return all[i].sub < all[j].sub
+		})
+		all = all[:limit]
+	}
+	out := make([]Atomic, len(all))
+	for i, x := range all {
+		out[i] = Atomic{Kind: xmltree.TypeString, Sub: x.sub}
+	}
+	return out
+}
+
+// AtomicSel implements Summary.
+func (s *String) AtomicSel(a Atomic) float64 {
+	if a.Kind != xmltree.TypeString {
+		return 0
+	}
+	return s.T.Selectivity(a.Sub)
+}
+
+// PredSel implements Summary.
+func (s *String) PredSel(p query.Pred, _ *xmltree.Dict) float64 {
+	c, ok := p.(query.Contains)
+	if !ok {
+		return 0
+	}
+	return s.T.Selectivity(c.Substr)
+}
+
+// Fuse implements Summary.
+func (s *String) Fuse(other Summary) Summary {
+	o, ok := other.(*String)
+	if !ok {
+		panic(fmt.Sprintf("vsum: fusing string with %T", other))
+	}
+	return &String{T: pst.Merge(s.T, o.T)}
+}
+
+// Compress implements Summary (st_cmprs): it prunes up to b leaves in
+// ascending pruning-error order on a copy.
+func (s *String) Compress(b int) (Summary, int, int) {
+	cl := s.T.Clone()
+	removed := cl.Prune(b)
+	if removed == 0 {
+		return s, 0, 0
+	}
+	return &String{T: cl}, s.T.SizeBytes() - cl.SizeBytes(), removed
+}
+
+// Validate implements Summary.
+func (s *String) Validate() error { return s.T.Validate() }

@@ -1,0 +1,136 @@
+// Package vsum unifies the three value-summary mechanisms of the
+// XCluster framework — numeric histograms, pruned suffix trees, and
+// end-biased term histograms — behind one interface used by the synopsis
+// core: selectivity estimation for query predicates, enumeration of
+// atomic predicates for the Δ clustering-error metric, fusion on node
+// merges, and single-step compression for the value-compression phase.
+package vsum
+
+import (
+	"fmt"
+
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// Atomic is one atomic value predicate of the Δ metric: a prefix range
+// [Lo, Hi] for NUMERIC summaries, a retained substring for STRING
+// summaries, or a single term for TEXT summaries.
+type Atomic struct {
+	Kind xmltree.ValueType
+	Lo   int    // numeric: domain minimum
+	Hi   int    // numeric: prefix upper bound
+	Sub  string // string: substring
+	Term int    // text: term id
+}
+
+// Summary is a compact approximation of the value distribution of an
+// XCluster node's extent.
+type Summary interface {
+	// Type is the value type summarized.
+	Type() xmltree.ValueType
+	// Count is the number of values summarized.
+	Count() float64
+	// SizeBytes is the storage charge of the summary.
+	SizeBytes() int
+	// Atomics enumerates up to limit atomic predicates for the Δ metric
+	// (limit <= 0 means no cap).
+	Atomics(limit int) []Atomic
+	// AtomicSel returns the selectivity (fraction in [0,1]) of an atomic
+	// predicate.
+	AtomicSel(a Atomic) float64
+	// PredSel returns the selectivity of a query value predicate; dict
+	// resolves TEXT terms.
+	PredSel(p query.Pred, dict *xmltree.Dict) float64
+	// Fuse combines the summary with other (same type) into a summary of
+	// the union of the two value collections.
+	Fuse(other Summary) Summary
+	// Compress returns a copy compressed by up to b elementary steps
+	// (bucket merges, leaf prunings, or term demotions — the b parameter
+	// of hist_cmprs/st_cmprs/tv_cmprs) along with the bytes saved and
+	// the steps actually performed. steps == 0 means no further
+	// compression is possible; otherwise saved > 0. The receiver is
+	// never mutated.
+	Compress(b int) (s Summary, saved int, steps int)
+	// Validate checks internal invariants.
+	Validate() error
+}
+
+// FromNodes builds a detailed summary of the values of nodes, which must
+// all share the same non-null value type. opts tune the detailed forms.
+func FromNodes(nodes []*xmltree.Node, opts BuildOptions) (Summary, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("vsum: FromNodes on empty extent")
+	}
+	vt := nodes[0].Type
+	for _, n := range nodes {
+		if n.Type != vt {
+			return nil, fmt.Errorf("vsum: mixed value types %v and %v", vt, n.Type)
+		}
+	}
+	switch vt {
+	case xmltree.TypeNumeric:
+		vals := make([]int, len(nodes))
+		for i, n := range nodes {
+			vals[i] = n.Num
+		}
+		var s Summary
+		switch opts.Numeric {
+		case KindWavelet:
+			s = NewNumericWavelet(vals, 0)
+		case KindSample:
+			s = NewNumericSample(vals, 0, int64(len(vals))*7919+int64(nodes[0].ID))
+		default:
+			s = NewNumeric(vals, opts.HistBuckets)
+		}
+		return capSummary(s, opts.MaxSummaryBytes), nil
+	case xmltree.TypeString:
+		strs := make([]string, len(nodes))
+		for i, n := range nodes {
+			strs[i] = n.Str
+		}
+		return capSummary(NewString(strs, opts.PSTDepth), opts.MaxSummaryBytes), nil
+	case xmltree.TypeText:
+		vecs := make([][]int, len(nodes))
+		for i, n := range nodes {
+			vecs[i] = n.Terms
+		}
+		return capSummary(NewText(vecs), opts.MaxSummaryBytes), nil
+	default:
+		return nil, fmt.Errorf("vsum: cannot summarize %v values", vt)
+	}
+}
+
+// BuildOptions tune the detailed summaries of the reference synopsis.
+type BuildOptions struct {
+	// Numeric selects the NUMERIC summarization tool (histogram,
+	// wavelet, or sample; histogram is the paper's default).
+	Numeric NumericKind
+	// HistBuckets caps the buckets of a detailed NUMERIC histogram
+	// (<= 0: one bucket per distinct value).
+	HistBuckets int
+	// PSTDepth bounds retained substring length (<= 0: pst.DefaultMaxDepth).
+	PSTDepth int
+	// MaxSummaryBytes caps each detailed summary's storage, compressing
+	// with the summary's own lowest-error operations until it fits
+	// (<= 0: unbounded). The paper's reference summaries are detailed
+	// but compact (its references average a few hundred bytes per value
+	// node); an unbounded detailed form duplicates heavily across the
+	// many small clusters of the reference partition.
+	MaxSummaryBytes int
+}
+
+// capSummary compresses s until it fits within maxBytes.
+func capSummary(s Summary, maxBytes int) Summary {
+	if maxBytes <= 0 {
+		return s
+	}
+	for s.SizeBytes() > maxBytes {
+		next, _, steps := s.Compress(8)
+		if steps == 0 {
+			break
+		}
+		s = next
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+package wavelet
+
+import (
+	"sort"
+
+	"xcluster/internal/wire"
+)
+
+// Encode writes the summary: domain, grid, total, and the retained
+// coefficients sorted by index.
+func (s *Summary) Encode(w *wire.Writer) {
+	w.Int(s.lo)
+	w.Int(s.hi)
+	w.Int(s.cell)
+	w.Int(s.n)
+	w.Float(s.total)
+	w.Uint(uint64(len(s.coeffs)))
+	idxs := make([]int, 0, len(s.coeffs))
+	for i := range s.coeffs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	prev := 0
+	for _, i := range idxs {
+		w.Uint(uint64(i - prev))
+		w.Float(s.coeffs[i])
+		prev = i
+	}
+}
+
+// Decode reads a summary written by Encode.
+func Decode(r *wire.Reader) *Summary {
+	s := &Summary{
+		lo:     r.Int(),
+		hi:     r.Int(),
+		cell:   r.Int(),
+		n:      r.Int(),
+		total:  r.Float(),
+		coeffs: make(map[int]float64),
+	}
+	n := int(r.Uint())
+	prev := 0
+	for i := 0; i < n && r.Err() == nil; i++ {
+		idx := prev + int(r.Uint())
+		s.coeffs[idx] = r.Float()
+		prev = idx
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+// Package wavelet implements Haar-wavelet synopses of numeric frequency
+// distributions — the alternative NUMERIC summarization tool the paper
+// cites (Matias, Vitter and Wang, SIGMOD'98). The frequency vector over
+// the value domain is transformed into the Haar error tree and only the
+// largest-magnitude coefficients are retained; range-sum queries are
+// answered by accumulating the retained coefficients' contributions.
+//
+// Wide domains are first snapped to a grid of at most MaxCells cells so
+// the transform stays small; within a cell the distribution is assumed
+// uniform, mirroring the histogram package's bucket-uniformity
+// assumption.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CoeffBytes is the storage charged per retained coefficient (index +
+// value).
+const CoeffBytes = 8
+
+// MaxCells caps the grid resolution of the underlying frequency vector.
+const MaxCells = 4096
+
+// Summary is a Haar-wavelet synopsis of a numeric frequency
+// distribution. The zero value is unusable; use Build or Merge.
+type Summary struct {
+	lo, hi int     // value domain covered
+	cell   int     // domain width per grid cell (>= 1)
+	n      int     // number of grid cells (power of two)
+	total  float64 // number of summarized values
+	// coeffs maps Haar error-tree indices to unnormalized coefficient
+	// values. Index 0 is the overall average; index i >= 1 is the
+	// difference coefficient of the standard error-tree layout.
+	coeffs map[int]float64
+}
+
+// Build constructs a wavelet summary of values retaining at most
+// maxCoeffs coefficients (<= 0 keeps all non-zero coefficients).
+func Build(values []int, maxCoeffs int) *Summary {
+	s := &Summary{coeffs: make(map[int]float64)}
+	if len(values) == 0 {
+		s.cell, s.n = 1, 1
+		return s
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	s.lo, s.hi = lo, hi
+	width := hi - lo + 1
+	s.cell = (width + MaxCells - 1) / MaxCells
+	cells := (width + s.cell - 1) / s.cell
+	s.n = 1
+	for s.n < cells {
+		s.n *= 2
+	}
+	freq := make([]float64, s.n)
+	for _, v := range values {
+		freq[(v-lo)/s.cell]++
+	}
+	s.total = float64(len(values))
+	s.encode(freq, maxCoeffs)
+	return s
+}
+
+// encode runs the Haar transform on freq and retains the largest
+// normalized coefficients.
+func (s *Summary) encode(freq []float64, maxCoeffs int) {
+	n := len(freq)
+	// Standard bottom-up Haar decomposition: averages and differences.
+	avgs := append([]float64(nil), freq...)
+	type coeff struct {
+		idx  int
+		val  float64
+		norm float64 // normalized magnitude for thresholding
+	}
+	var all []coeff
+	for length := n; length > 1; length /= 2 {
+		next := make([]float64, length/2)
+		for i := 0; i < length/2; i++ {
+			a, b := avgs[2*i], avgs[2*i+1]
+			next[i] = (a + b) / 2
+			diff := (a - b) / 2
+			// Error-tree index of this difference coefficient.
+			idx := length/2 + i
+			if diff != 0 {
+				// Normalized magnitude |c| * sqrt(support length).
+				support := float64(n) / float64(length/2)
+				all = append(all, coeff{idx: idx, val: diff, norm: math.Abs(diff) * math.Sqrt(support)})
+			}
+		}
+		avgs = next
+	}
+	if avgs[0] != 0 {
+		all = append(all, coeff{idx: 0, val: avgs[0], norm: math.Abs(avgs[0]) * math.Sqrt(float64(n))})
+	}
+	if maxCoeffs > 0 && len(all) > maxCoeffs {
+		sort.Slice(all, func(i, j int) bool { return all[i].norm > all[j].norm })
+		all = all[:maxCoeffs]
+	}
+	for _, c := range all {
+		s.coeffs[c.idx] = c.val
+	}
+}
+
+// reconstructCell returns the approximate frequency of grid cell i.
+func (s *Summary) reconstructCell(i int) float64 {
+	// Walk the error tree from the root to leaf i.
+	val := s.coeffs[0]
+	// The path is determined by the bits of i, from the top level down.
+	levels := 0
+	for 1<<levels < s.n {
+		levels++
+	}
+	for l := 0; l < levels; l++ {
+		// At level l (from the root), the relevant difference
+		// coefficient index is 2^l + (i >> (levels-l-1+0)) / 2 ... use
+		// the standard layout: coefficient idx = 2^l + prefix(i, l).
+		prefix := i >> (levels - l)
+		idx := 1<<l + prefix
+		c := s.coeffs[idx]
+		if c != 0 {
+			// Left half adds +c, right half adds -c.
+			bit := (i >> (levels - l - 1)) & 1
+			if bit == 0 {
+				val += c
+			} else {
+				val -= c
+			}
+		}
+	}
+	return val
+}
+
+// Total returns the number of summarized values.
+func (s *Summary) Total() float64 { return s.total }
+
+// Coeffs returns the number of retained coefficients.
+func (s *Summary) Coeffs() int { return len(s.coeffs) }
+
+// SizeBytes returns the storage charge.
+func (s *Summary) SizeBytes() int { return len(s.coeffs) * CoeffBytes }
+
+// Bounds returns the covered value domain.
+func (s *Summary) Bounds() (int, int, bool) {
+	if s.total == 0 {
+		return 0, 0, false
+	}
+	return s.lo, s.hi, true
+}
+
+// EstimateRange returns the estimated number of values in [lo, hi].
+func (s *Summary) EstimateRange(lo, hi int) float64 {
+	if s.total == 0 || hi < lo || hi < s.lo || lo > s.hi {
+		return 0
+	}
+	if lo < s.lo {
+		lo = s.lo
+	}
+	if hi > s.hi {
+		hi = s.hi
+	}
+	first := (lo - s.lo) / s.cell
+	last := (hi - s.lo) / s.cell
+	est := 0.0
+	for i := first; i <= last; i++ {
+		f := s.reconstructCell(i)
+		if f <= 0 {
+			continue
+		}
+		// Partial cell overlap at the edges (uniform within a cell).
+		// The final cell is clamped to the data domain so no mass is
+		// attributed to values beyond it.
+		cellLo := s.lo + i*s.cell
+		cellHi := min(cellLo+s.cell-1, s.hi)
+		ovLo, ovHi := max(lo, cellLo), min(hi, cellHi)
+		if ovHi < ovLo {
+			continue
+		}
+		est += f * float64(ovHi-ovLo+1) / float64(cellHi-cellLo+1)
+	}
+	if est < 0 {
+		est = 0
+	}
+	if est > s.total {
+		est = s.total
+	}
+	return est
+}
+
+// Selectivity returns the fraction of values in [lo, hi].
+func (s *Summary) Selectivity(lo, hi int) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.EstimateRange(lo, hi) / s.total
+}
+
+// Compress returns a copy retaining b fewer coefficients (smallest
+// normalized magnitudes dropped) and the count actually dropped.
+func (s *Summary) Compress(b int) (*Summary, int) {
+	if b <= 0 || len(s.coeffs) <= 1 {
+		return s, 0
+	}
+	type coeff struct {
+		idx  int
+		norm float64
+	}
+	all := make([]coeff, 0, len(s.coeffs))
+	for idx, val := range s.coeffs {
+		support := float64(s.n)
+		if idx > 0 {
+			l := 0
+			for 1<<(l+1) <= idx {
+				l++
+			}
+			support = float64(s.n) / float64(int(1)<<l)
+		}
+		all = append(all, coeff{idx: idx, norm: math.Abs(val) * math.Sqrt(support)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].norm != all[j].norm {
+			return all[i].norm < all[j].norm
+		}
+		return all[i].idx < all[j].idx
+	})
+	if b > len(all)-1 {
+		b = len(all) - 1 // always keep at least one coefficient
+	}
+	out := &Summary{lo: s.lo, hi: s.hi, cell: s.cell, n: s.n, total: s.total, coeffs: make(map[int]float64, len(s.coeffs)-b)}
+	drop := make(map[int]struct{}, b)
+	for _, c := range all[:b] {
+		drop[c.idx] = struct{}{}
+	}
+	for idx, val := range s.coeffs {
+		if _, gone := drop[idx]; !gone {
+			out.coeffs[idx] = val
+		}
+	}
+	return out, b
+}
+
+// Merge fuses two wavelet summaries by reconstructing both approximate
+// frequency vectors over the union domain and re-encoding their sum.
+func Merge(a, b *Summary, maxCoeffs int) *Summary {
+	if a == nil || a.total == 0 {
+		return b.clone()
+	}
+	if b == nil || b.total == 0 {
+		return a.clone()
+	}
+	lo := min(a.lo, b.lo)
+	hi := max(a.hi, b.hi)
+	out := &Summary{lo: lo, hi: hi, coeffs: make(map[int]float64), total: a.total + b.total}
+	width := hi - lo + 1
+	out.cell = (width + MaxCells - 1) / MaxCells
+	cells := (width + out.cell - 1) / out.cell
+	out.n = 1
+	for out.n < cells {
+		out.n *= 2
+	}
+	freq := make([]float64, out.n)
+	for _, src := range []*Summary{a, b} {
+		for i := 0; i < src.n; i++ {
+			f := src.reconstructCell(i)
+			if f <= 0 {
+				continue
+			}
+			cellLo := src.lo + i*src.cell
+			if cellLo > src.hi {
+				break
+			}
+			freq[(cellLo-lo)/out.cell] += f
+		}
+	}
+	out.encode(freq, maxCoeffs)
+	return out
+}
+
+func (s *Summary) clone() *Summary {
+	if s == nil {
+		return &Summary{cell: 1, n: 1, coeffs: make(map[int]float64)}
+	}
+	out := *s
+	out.coeffs = make(map[int]float64, len(s.coeffs))
+	for k, v := range s.coeffs {
+		out.coeffs[k] = v
+	}
+	return &out
+}
+
+// Validate checks internal invariants.
+func (s *Summary) Validate() error {
+	if s.n < 1 || s.n&(s.n-1) != 0 {
+		return fmt.Errorf("wavelet: grid size %d not a power of two", s.n)
+	}
+	if s.cell < 1 {
+		return fmt.Errorf("wavelet: cell width %d", s.cell)
+	}
+	if s.total < 0 {
+		return fmt.Errorf("wavelet: negative total %g", s.total)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func trueRange(values []int, lo, hi int) float64 {
+	n := 0
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+func TestFullCoefficientsExact(t *testing.T) {
+	values := []int{1, 1, 2, 5, 5, 5, 9, 12}
+	s := Build(values, 0) // all coefficients: lossless
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != 8 {
+		t.Fatalf("Total = %g", s.Total())
+	}
+	cases := [][2]int{{1, 1}, {2, 2}, {5, 5}, {9, 9}, {12, 12}, {1, 12}, {3, 4}, {6, 8}, {0, 0}, {13, 20}}
+	for _, c := range cases {
+		got := s.EstimateRange(c[0], c[1])
+		want := trueRange(values, c[0], c[1])
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("EstimateRange(%d,%d) = %g, want %g", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := Build(nil, 10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.EstimateRange(0, 100) != 0 || s.Selectivity(0, 100) != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestThresholdedApproximation(t *testing.T) {
+	// A skewed distribution: a heavy spike plus uniform noise. Retaining
+	// few coefficients must keep the spike's mass roughly right.
+	rng := rand.New(rand.NewSource(3))
+	var values []int
+	for i := 0; i < 1000; i++ {
+		values = append(values, 50)
+	}
+	for i := 0; i < 200; i++ {
+		values = append(values, rng.Intn(128))
+	}
+	s := Build(values, 8)
+	if s.Coeffs() > 8 {
+		t.Fatalf("Coeffs = %d", s.Coeffs())
+	}
+	got := s.EstimateRange(50, 50)
+	if got < 500 {
+		t.Fatalf("spike estimate = %g, want near 1000", got)
+	}
+	// Full range stays near the total.
+	if full := s.EstimateRange(0, 127); math.Abs(full-1200) > 300 {
+		t.Fatalf("full-range estimate = %g, want near 1200", full)
+	}
+}
+
+func TestWideDomainGrid(t *testing.T) {
+	// A domain far wider than MaxCells must be gridded, not exploded.
+	values := []int{0, 1000000}
+	s := Build(values, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EstimateRange(0, 1000000); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("full range = %g", got)
+	}
+	// Mass is localized around the two endpoints.
+	left := s.EstimateRange(0, 500)
+	if left < 0.5 || left > 1.5 {
+		t.Fatalf("left mass = %g", left)
+	}
+}
+
+func TestCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	values := make([]int, 500)
+	for i := range values {
+		values[i] = rng.Intn(256)
+	}
+	s := Build(values, 0)
+	before := s.Coeffs()
+	c, dropped := s.Compress(before / 2)
+	if dropped != before/2 {
+		t.Fatalf("dropped %d, want %d", dropped, before/2)
+	}
+	if c.Coeffs() != before-dropped {
+		t.Fatalf("Coeffs = %d", c.Coeffs())
+	}
+	// Receiver untouched.
+	if s.Coeffs() != before {
+		t.Fatal("Compress mutated receiver")
+	}
+	// Estimates remain sane.
+	if got := c.EstimateRange(0, 255); math.Abs(got-500) > 250 {
+		t.Fatalf("full range after compress = %g", got)
+	}
+	// Always keeps at least one coefficient.
+	c2, _ := s.Compress(1 << 20)
+	if c2.Coeffs() < 1 {
+		t.Fatal("compressed away everything")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Build([]int{1, 2, 3, 4, 5}, 0)
+	b := Build([]int{4, 5, 6, 7}, 0)
+	m := Merge(a, b, 0)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 9 {
+		t.Fatalf("Total = %g", m.Total())
+	}
+	if got := m.EstimateRange(1, 7); math.Abs(got-9) > 1e-6 {
+		t.Fatalf("full range = %g", got)
+	}
+	if got := m.EstimateRange(4, 5); math.Abs(got-4) > 1e-6 {
+		t.Fatalf("overlap range = %g, want 4", got)
+	}
+	// Nil/empty merges.
+	if got := Merge(a, nil, 0); got.Total() != a.Total() {
+		t.Fatal("Merge(a,nil) broken")
+	}
+	if got := Merge(nil, b, 0); got.Total() != b.Total() {
+		t.Fatal("Merge(nil,b) broken")
+	}
+}
+
+func TestRandomizedLosslessAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 30; iter++ {
+		n := rng.Intn(200) + 1
+		values := make([]int, n)
+		for i := range values {
+			values[i] = rng.Intn(300)
+		}
+		s := Build(values, 0)
+		for q := 0; q < 20; q++ {
+			lo := rng.Intn(300)
+			hi := lo + rng.Intn(100)
+			got := s.EstimateRange(lo, hi)
+			want := trueRange(values, lo, hi)
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("iter %d: range [%d,%d] = %g, want %g", iter, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	values := make([]int, 300)
+	for i := range values {
+		values[i] = rng.Intn(1000)
+	}
+	s := Build(values, 12) // heavy thresholding
+	for q := 0; q < 50; q++ {
+		lo := rng.Intn(1000)
+		hi := lo + rng.Intn(500)
+		sel := s.Selectivity(lo, hi)
+		if sel < 0 || sel > 1 {
+			t.Fatalf("selectivity %g out of [0,1]", sel)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package wire implements the compact binary encoding shared by the
+// synopsis serialization code: varint integers, IEEE float64s and
+// length-prefixed strings over sticky-error reader/writer wrappers.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer encodes primitives to an underlying stream. The first error
+// sticks; callers check Err (or Flush) once at the end.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first write error.
+func (w *Writer) Err() error { return w.err }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int64 { return w.n }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+// Int encodes a signed integer as a zig-zag varint.
+func (w *Writer) Int(v int) {
+	n := binary.PutVarint(w.buf[:], int64(v))
+	w.write(w.buf[:n])
+}
+
+// Uint encodes an unsigned integer as a varint.
+func (w *Writer) Uint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Float encodes a float64.
+func (w *Writer) Float(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.write(b[:])
+}
+
+// String encodes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Bytes encodes raw bytes without a prefix.
+func (w *Writer) Bytes(p []byte) { w.write(p) }
+
+// Reader decodes primitives from an underlying stream with a sticky
+// error.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Err returns the first read error.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Int decodes a zig-zag varint.
+func (r *Reader) Int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("wire: varint: %w", err))
+		return 0
+	}
+	return int(v)
+}
+
+// Uint decodes a varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("wire: uvarint: %w", err))
+		return 0
+	}
+	return v
+}
+
+// Float decodes a float64.
+func (r *Reader) Float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.fail(fmt.Errorf("wire: float: %w", err))
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// maxStringLen guards against corrupt length prefixes.
+const maxStringLen = 1 << 24
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.fail(fmt.Errorf("wire: string length %d too large", n))
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(fmt.Errorf("wire: string body: %w", err))
+		return ""
+	}
+	return string(b)
+}
+
+// Expect consumes len(want) bytes and fails unless they match.
+func (r *Reader) Expect(want []byte) {
+	if r.err != nil {
+		return
+	}
+	b := make([]byte, len(want))
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(fmt.Errorf("wire: magic: %w", err))
+		return
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			r.fail(fmt.Errorf("wire: bad magic %q, want %q", b, want))
+			return
+		}
+	}
+}

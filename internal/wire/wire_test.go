@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int(-42)
+	w.Int(0)
+	w.Int(1 << 40)
+	w.Uint(7)
+	w.Float(3.14159)
+	w.Float(math.Inf(1))
+	w.String("hello")
+	w.String("")
+	w.Bytes([]byte("RAW"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != int64(buf.Len()) {
+		t.Fatalf("Len = %d, wrote %d", w.Len(), buf.Len())
+	}
+
+	r := NewReader(&buf)
+	if got := r.Int(); got != -42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Int(); got != 0 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Int(); got != 1<<40 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Uint(); got != 7 {
+		t.Fatalf("Uint = %d", got)
+	}
+	if got := r.Float(); got != 3.14159 {
+		t.Fatalf("Float = %g", got)
+	}
+	if got := r.Float(); !math.IsInf(got, 1) {
+		t.Fatalf("Float = %g", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String = %q", got)
+	}
+	r.Expect([]byte("RAW"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.Int() // EOF
+	if r.Err() == nil {
+		t.Fatal("no error on empty stream")
+	}
+	// Further reads return zero values without panicking.
+	if r.Uint() != 0 || r.Float() != 0 || r.String() != "" {
+		t.Fatal("reads after error returned values")
+	}
+}
+
+func TestExpectMismatch(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("WRONG")))
+	r.Expect([]byte("MAGIC"))
+	if r.Err() == nil {
+		t.Fatal("Expect accepted wrong magic")
+	}
+}
+
+func TestStringLengthGuard(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint(1 << 30) // absurd length prefix
+	_ = w.Flush()
+	r := NewReader(&buf)
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("oversized string accepted")
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, v := range vals {
+			w.Int(int(v))
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, v := range vals {
+			if r.Int() != int(v) {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloatRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, v := range vals {
+			w.Float(v)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, v := range vals {
+			got := r.Float()
+			if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

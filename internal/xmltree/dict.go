@@ -1,0 +1,97 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Dict is the term dictionary underlying the Boolean-vector model of TEXT
+// values: a bijection between index terms and dense integer ids.
+type Dict struct {
+	terms []string
+	ids   map[string]int
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int)}
+}
+
+// Intern returns the id for term, adding it to the dictionary if absent.
+func (d *Dict) Intern(term string) int {
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := len(d.terms)
+	d.terms = append(d.terms, term)
+	d.ids[term] = id
+	return id
+}
+
+// ID returns the id for term and whether the term is present.
+func (d *Dict) ID(term string) (int, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Term returns the term with the given id.
+func (d *Dict) Term(id int) string { return d.terms[id] }
+
+// Len returns the number of distinct terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Terms returns all terms ordered by id. The slice is owned by the
+// dictionary and must not be mutated.
+func (d *Dict) Terms() []string { return d.terms }
+
+// Tokenize splits free text into lowercase index terms, dropping
+// punctuation and single-character tokens. This is the standard Boolean-IR
+// normalization assumed by the paper's TEXT model.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.ToLower(f)
+		if len(f) > 1 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// InternText tokenizes text and returns the sorted set of distinct term
+// ids (the sparse Boolean vector of the paper's IR model).
+func (d *Dict) InternText(text string) []int {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	set := make(map[int]struct{}, len(toks))
+	for _, tok := range toks {
+		set[d.Intern(tok)] = struct{}{}
+	}
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// InternTerms interns a pre-tokenized set of terms, returning sorted
+// distinct ids.
+func (d *Dict) InternTerms(terms []string) []int {
+	set := make(map[int]struct{}, len(terms))
+	for _, t := range terms {
+		set[d.Intern(t)] = struct{}{}
+	}
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,186 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TypeHint decides the value type of an element that carries character
+// data. It receives the root label path of the element (e.g.
+// "/site/item/price") and the raw text, and returns the type to assign.
+type TypeHint func(path, text string) ValueType
+
+// DefaultTypeHint infers a value type from the text alone: integers become
+// NUMERIC, short strings (at most five index terms) become STRING, and
+// longer free text becomes TEXT. This matches the paper's convention that
+// NUMERIC values live in an integer domain, STRING values are short
+// (titles, names), and TEXT values are free text (abstracts, forewords).
+func DefaultTypeHint(path, text string) ValueType {
+	if _, err := strconv.Atoi(strings.TrimSpace(text)); err == nil {
+		return TypeNumeric
+	}
+	if len(Tokenize(text)) > 5 {
+		return TypeText
+	}
+	return TypeString
+}
+
+// ParseOptions configures Parse.
+type ParseOptions struct {
+	// Hint decides value types; DefaultTypeHint is used when nil.
+	Hint TypeHint
+	// Dict is the term dictionary to intern TEXT terms into; a fresh one
+	// is created when nil.
+	Dict *Dict
+	// Attributes maps XML attributes to child elements labeled "@name"
+	// carrying the attribute value (typed via Hint). The paper's data
+	// model is element-only, but real data sets (including the original
+	// XMark) carry ids and refs as attributes; this folds them into the
+	// model instead of dropping them.
+	Attributes bool
+}
+
+// Parse reads an XML document into a Tree. Elements whose content is pure
+// character data become typed value nodes; mixed and element-only content
+// contributes structure only. Attributes are ignored (the paper's model is
+// element-only; generators emit attribute-free documents).
+func Parse(r io.Reader, opts ParseOptions) (*Tree, error) {
+	hint := opts.Hint
+	if hint == nil {
+		hint = DefaultTypeHint
+	}
+	dict := opts.Dict
+	if dict == nil {
+		dict = NewDict()
+	}
+
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	var textStack []*strings.Builder
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				n.Parent = p
+				p.Children = append(p.Children, n)
+			} else if root == nil {
+				root = n
+			} else {
+				return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+			}
+			if opts.Attributes {
+				for _, a := range t.Attr {
+					c := &Node{Label: "@" + a.Name.Local, Parent: n}
+					assignValue(c, hint(n.Path()+"/@"+a.Name.Local, a.Value), a.Value, dict)
+					n.Children = append(n.Children, c)
+				}
+			}
+			stack = append(stack, n)
+			textStack = append(textStack, &strings.Builder{})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			n := stack[len(stack)-1]
+			text := strings.TrimSpace(textStack[len(textStack)-1].String())
+			stack = stack[:len(stack)-1]
+			textStack = textStack[:len(textStack)-1]
+			if text != "" && len(n.Children) == 0 {
+				assignValue(n, hint(n.Path(), text), text, dict)
+			}
+		case xml.CharData:
+			if len(textStack) > 0 {
+				textStack[len(textStack)-1].Write(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unbalanced document")
+	}
+	return NewTree(root, dict), nil
+}
+
+// assignValue stores text on n under the given type, interning TEXT terms
+// into dict.
+func assignValue(n *Node, vt ValueType, text string, dict *Dict) {
+	switch vt {
+	case TypeNumeric:
+		num, err := strconv.Atoi(strings.TrimSpace(text))
+		if err != nil {
+			// The hint lied; fall back to STRING so no data is lost.
+			n.Type = TypeString
+			n.Str = text
+			return
+		}
+		n.Type = TypeNumeric
+		n.Num = num
+	case TypeString:
+		n.Type = TypeString
+		n.Str = text
+	case TypeText:
+		n.Type = TypeText
+		n.Terms = dict.InternText(text)
+	default:
+		n.Type = TypeNull
+	}
+}
+
+// Write serializes the tree back to XML with two-space indentation. TEXT
+// values are written as the space-joined dictionary terms of their vector
+// (the Boolean model retains term sets, not the original prose).
+func Write(w io.Writer, t *Tree) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := writeNode(enc, t, t.Root); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+func writeNode(enc *xml.Encoder, t *Tree, n *Node) error {
+	start := xml.StartElement{Name: xml.Name{Local: n.Label}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	switch n.Type {
+	case TypeNumeric:
+		if err := enc.EncodeToken(xml.CharData(strconv.Itoa(n.Num))); err != nil {
+			return err
+		}
+	case TypeString:
+		if err := enc.EncodeToken(xml.CharData(n.Str)); err != nil {
+			return err
+		}
+	case TypeText:
+		terms := make([]string, len(n.Terms))
+		for i, id := range n.Terms {
+			terms[i] = t.Dict.Term(id)
+		}
+		if err := enc.EncodeToken(xml.CharData(strings.Join(terms, " "))); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := writeNode(enc, t, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}

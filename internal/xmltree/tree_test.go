@@ -1,0 +1,302 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// paperExample builds the bibliographic document of Figure 1 in the paper:
+// a dblp root with authors, each with a name and paper/book sub-elements
+// carrying year (NUMERIC), title (STRING) and abstract/keywords/foreword
+// (TEXT) values.
+func paperExample(t testing.TB) *Tree {
+	t.Helper()
+	b := NewBuilder(nil)
+	b.Open("dblp")
+	b.Open("author")
+	b.String("name", "N. Polyzotis")
+	b.Open("paper")
+	b.Numeric("year", 2000)
+	b.String("title", "Counting Twig Matches")
+	b.Text("keywords", "XML summary synopsis estimation")
+	b.Close()
+	b.Open("paper")
+	b.Numeric("year", 2002)
+	b.String("title", "Holistic Twig Joins")
+	b.Text("abstract", "XML employs a tree structured data model for queries")
+	b.Close()
+	b.Close()
+	b.Open("author")
+	b.String("name", "M. Garofalakis")
+	b.Open("book")
+	b.Numeric("year", 2002)
+	b.String("title", "Database Systems")
+	b.Text("foreword", "Database systems have become essential infrastructure for applications")
+	b.Close()
+	b.Close()
+	b.Close()
+	return b.Tree()
+}
+
+func TestBuilderPaperExample(t *testing.T) {
+	tr := paperExample(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.Len(); got != 17 {
+		t.Fatalf("Len = %d, want 17", got)
+	}
+	if tr.Root.Label != "dblp" {
+		t.Fatalf("root label = %q", tr.Root.Label)
+	}
+	st := tr.ComputeStats()
+	if st.Elements != 17 || st.ValueNodes != 11 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByType[TypeNumeric] != 3 || st.ByType[TypeString] != 5 || st.ByType[TypeText] != 3 {
+		t.Fatalf("type counts = %v", st.ByType)
+	}
+	if st.MaxDepth != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", st.MaxDepth)
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	tr := paperExample(t)
+	years := tr.PathNodes("/dblp/author/paper/year")
+	if len(years) != 2 {
+		t.Fatalf("got %d year nodes under paper, want 2", len(years))
+	}
+	for _, y := range years {
+		if y.Type != TypeNumeric {
+			t.Fatalf("year node has type %v", y.Type)
+		}
+	}
+	if got := tr.PathNodes("/dblp/author/book/year"); len(got) != 1 {
+		t.Fatalf("book years = %d, want 1", len(got))
+	}
+}
+
+func TestHasTerm(t *testing.T) {
+	tr := paperExample(t)
+	kw := tr.PathNodes("/dblp/author/paper/keywords")[0]
+	id, ok := tr.Dict.ID("xml")
+	if !ok {
+		t.Fatal("term xml not interned")
+	}
+	if !kw.HasTerm(id) {
+		t.Fatal("keywords should contain xml")
+	}
+	if kw.HasTerm(tr.Dict.Len() + 5) {
+		t.Fatal("HasTerm true for unknown id")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tr := paperExample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Parse(&buf, ParseOptions{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), tr.Len())
+	}
+	// Values survive with types intact.
+	y := back.PathNodes("/dblp/author/paper/year")
+	if len(y) != 2 || y[0].Type != TypeNumeric || y[0].Num != 2000 {
+		t.Fatalf("year after round trip: %+v", y)
+	}
+	titles := back.PathNodes("/dblp/author/book/title")
+	if len(titles) != 1 || titles[0].Type != TypeString || titles[0].Str != "Database Systems" {
+		t.Fatalf("title after round trip: %+v", titles)
+	}
+	fw := back.PathNodes("/dblp/author/book/foreword")
+	if len(fw) != 1 || fw[0].Type != TypeText {
+		t.Fatalf("foreword after round trip: %+v", fw)
+	}
+	if id, ok := back.Dict.ID("database"); !ok || !fw[0].HasTerm(id) {
+		t.Fatal("foreword lost the term 'database'")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"unbalanced": "<a><b></a>",
+		"two roots":  "<a></a><b></b>",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc), ParseOptions{}); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, doc)
+		}
+	}
+}
+
+func TestDefaultTypeHint(t *testing.T) {
+	cases := []struct {
+		text string
+		want ValueType
+	}{
+		{"1984", TypeNumeric},
+		{"  42 ", TypeNumeric},
+		{"Database Systems", TypeString},
+		{"one two three four five six seven", TypeText},
+	}
+	for _, c := range cases {
+		if got := DefaultTypeHint("/x", c.text); got != c.want {
+			t.Errorf("hint(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("XML, employs a Tree-structured data-model!")
+	want := []string{"xml", "employs", "tree", "structured", "data", "model"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("xml")
+	b := d.Intern("tree")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if again := d.Intern("xml"); again != a {
+		t.Fatalf("re-intern changed id: %d != %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Term(a) != "xml" {
+		t.Fatalf("Term(%d) = %q", a, d.Term(a))
+	}
+}
+
+func TestInternTextDedup(t *testing.T) {
+	d := NewDict()
+	ids := d.InternText("xml xml tree xml tree")
+	if len(ids) != 2 {
+		t.Fatalf("InternText kept duplicates: %v", ids)
+	}
+	if ids[0] >= ids[1] {
+		t.Fatalf("ids not sorted: %v", ids)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := paperExample(t)
+	// Break a parent pointer.
+	tr.Root.Children[0].Children[1].Parent = tr.Root
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate missed a broken parent pointer")
+	}
+}
+
+func TestMixedContentIsStructural(t *testing.T) {
+	doc := "<a>hello<b>5</b></a>"
+	tr, err := Parse(strings.NewReader(doc), ParseOptions{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Root.Type != TypeNull {
+		t.Fatalf("mixed-content root got type %v", tr.Root.Type)
+	}
+	if tr.Root.Children[0].Type != TypeNumeric {
+		t.Fatalf("b should be numeric, got %v", tr.Root.Children[0].Type)
+	}
+}
+
+func TestSubtreeEndAndLabelIndex(t *testing.T) {
+	tr := paperExample(t)
+	// Root's subtree covers everything.
+	if got := tr.SubtreeEnd(tr.Root); got != tr.Len()-1 {
+		t.Fatalf("root SubtreeEnd = %d, want %d", got, tr.Len()-1)
+	}
+	// A leaf's subtree is itself.
+	leaf := tr.PathNodes("/dblp/author/paper/year")[0]
+	if got := tr.SubtreeEnd(leaf); got != leaf.ID {
+		t.Fatalf("leaf SubtreeEnd = %d, want %d", got, leaf.ID)
+	}
+	// The interval (n.ID, end] is exactly n's proper descendants.
+	for _, n := range tr.Nodes() {
+		end := tr.SubtreeEnd(n)
+		count := 0
+		var walk func(x *Node)
+		walk = func(x *Node) {
+			for _, c := range x.Children {
+				count++
+				if c.ID <= n.ID || c.ID > end {
+					t.Fatalf("descendant %d outside (%d,%d]", c.ID, n.ID, end)
+				}
+				walk(c)
+			}
+		}
+		walk(n)
+		if count != end-n.ID {
+			t.Fatalf("node %d: %d descendants, interval holds %d", n.ID, count, end-n.ID)
+		}
+	}
+	// Label index is sorted and complete.
+	ids := tr.LabeledIDs("year")
+	if len(ids) != 3 {
+		t.Fatalf("year ids = %v", ids)
+	}
+	for i, id := range ids {
+		if tr.Node(id).Label != "year" {
+			t.Fatalf("id %d is %s", id, tr.Node(id).Label)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Fatal("label index not sorted")
+		}
+	}
+	if tr.LabeledIDs("missing") != nil {
+		t.Fatal("missing label returned ids")
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := `<site><item id="42" featured="yes"><name>Brass Compass</name></item></site>`
+	// Default: attributes ignored.
+	plain, err := Parse(strings.NewReader(doc), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != 3 {
+		t.Fatalf("plain Len = %d, want 3", plain.Len())
+	}
+	// With Attributes: @id and @featured become typed children.
+	withAttrs, err := Parse(strings.NewReader(doc), ParseOptions{Attributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withAttrs.Len() != 5 {
+		t.Fatalf("attr Len = %d, want 5", withAttrs.Len())
+	}
+	if err := withAttrs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ids := withAttrs.PathNodes("/site/item/@id")
+	if len(ids) != 1 || ids[0].Type != TypeNumeric || ids[0].Num != 42 {
+		t.Fatalf("@id = %+v", ids)
+	}
+	feat := withAttrs.PathNodes("/site/item/@featured")
+	if len(feat) != 1 || feat[0].Type != TypeString || feat[0].Str != "yes" {
+		t.Fatalf("@featured = %+v", feat)
+	}
+}

@@ -1,0 +1,253 @@
+// Package xcluster is the public API of this reproduction of "XCluster
+// Synopses for Structured XML Content" (Polyzotis & Garofalakis, ICDE
+// 2006). An XCluster synopsis is a compact structure-value clustering of
+// an XML document that supports selectivity estimation for twig queries
+// with numeric-range, substring, and IR-style keyword predicates over
+// heterogeneous element content.
+//
+// Typical use:
+//
+//	tree, _ := xcluster.ParseXML(file)
+//	syn, _  := xcluster.Build(tree, xcluster.Options{
+//	    StructBudget: 10 << 10, // 10 KB of structure
+//	    ValueBudget:  50 << 10, // 50 KB of value summaries
+//	})
+//	est := xcluster.NewEstimator(syn)
+//	q, _ := xcluster.ParseQuery("//paper[year>2000]/title[contains(Tree)]")
+//	fmt.Println(est.Selectivity(q))
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// full inventory); this package re-exports the surface a downstream user
+// needs: document parsing, synopsis construction, query parsing, and both
+// exact and approximate selectivity evaluation.
+package xcluster
+
+import (
+	"fmt"
+	"io"
+
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+	"xcluster/internal/vsum"
+	"xcluster/internal/xmltree"
+)
+
+// Tree is a parsed XML document: a node-labeled tree whose elements carry
+// typed values (numeric, string, or free text).
+type Tree = xmltree.Tree
+
+// Node is one element node of a document tree.
+type Node = xmltree.Node
+
+// Synopsis is an XCluster summary of a document.
+type Synopsis = core.Synopsis
+
+// Estimator approximates twig-query selectivities over a synopsis.
+type Estimator = core.Estimator
+
+// Query is a parsed twig query.
+type Query = query.Query
+
+// ParseXML reads an XML document, inferring value types (integers are
+// numeric, short strings are STRING, longer free text is TEXT).
+func ParseXML(r io.Reader) (*Tree, error) {
+	return xmltree.Parse(r, xmltree.ParseOptions{})
+}
+
+// WriteXML serializes a document tree.
+func WriteXML(w io.Writer, t *Tree) error {
+	return xmltree.Write(w, t)
+}
+
+// ParseQuery parses a twig query in the XPath fragment described in the
+// query package: child (/) and descendant (//) axes, wildcards, branch
+// predicates in brackets, and the value predicates range(l,h) /
+// comparison operators, contains(s), and ftcontains(t1,...,tk).
+func ParseQuery(s string) (*Query, error) {
+	return query.Parse(s)
+}
+
+// Options configure Build.
+type Options struct {
+	// StructBudget is the byte budget for the synopsis graph (nodes,
+	// edges, edge counts). The coarsest reachable structure is one
+	// cluster per (tag, value type).
+	StructBudget int
+	// ValueBudget is the byte budget for value summaries (histograms,
+	// pruned suffix trees, end-biased term histograms).
+	ValueBudget int
+	// ValuePaths restricts value summarization to the given root label
+	// paths (e.g. "/dblp/author/paper/year"). Nil summarizes every
+	// value-bearing path.
+	ValuePaths []string
+	// PSTDepth bounds the substring length retained by string summaries
+	// (default 4).
+	PSTDepth int
+	// HistBuckets caps detailed numeric histograms (default: one bucket
+	// per distinct value).
+	HistBuckets int
+	// MaxSummaryBytes caps each detailed reference value summary
+	// (default: unbounded).
+	MaxSummaryBytes int
+	// NumericSummary selects the NUMERIC summarization tool:
+	// "histogram" (default), "wavelet", or "sample" — the three tools
+	// the paper cites for numeric frequency distributions.
+	NumericSummary string
+}
+
+// numericKind maps the option string to the internal kind.
+func (o Options) numericKind() (vsum.NumericKind, error) {
+	switch o.NumericSummary {
+	case "", "histogram":
+		return vsum.KindHistogram, nil
+	case "wavelet":
+		return vsum.KindWavelet, nil
+	case "sample":
+		return vsum.KindSample, nil
+	default:
+		return 0, fmt.Errorf("xcluster: unknown numeric summary %q (want histogram, wavelet or sample)", o.NumericSummary)
+	}
+}
+
+// Build constructs an XCluster synopsis of the document within the given
+// storage budgets: it builds the detailed reference synopsis and runs the
+// two-phase XCLUSTERBUILD compression (structure-value merges, then
+// value-summary compression).
+func Build(t *Tree, opts Options) (*Synopsis, error) {
+	ref, err := BuildReference(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Compress(ref, opts.StructBudget, opts.ValueBudget)
+}
+
+// BuildReference constructs the detailed reference synopsis (a refinement
+// of the lossless count-stable summary with one incoming path per
+// cluster). It is the input to Compress and is useful on its own as an
+// exact structural summary.
+func BuildReference(t *Tree, opts Options) (*Synopsis, error) {
+	kind, err := opts.numericKind()
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildReference(t, core.ReferenceOptions{
+		ValuePaths: opts.ValuePaths,
+		Detail: vsum.BuildOptions{
+			Numeric:         kind,
+			PSTDepth:        opts.PSTDepth,
+			HistBuckets:     opts.HistBuckets,
+			MaxSummaryBytes: opts.MaxSummaryBytes,
+		},
+	})
+}
+
+// Compress runs XCLUSTERBUILD on a reference synopsis, producing a new
+// synopsis within the two byte budgets. The input is not modified.
+func Compress(ref *Synopsis, structBudget, valueBudget int) (*Synopsis, error) {
+	return core.XClusterBuild(ref, core.BuildOptions{
+		StructBudget: structBudget,
+		ValueBudget:  valueBudget,
+	})
+}
+
+// NewEstimator returns a selectivity estimator over the synopsis.
+func NewEstimator(s *Synopsis) *Estimator {
+	return core.NewEstimator(s)
+}
+
+// AutoBuild constructs a synopsis within one unified total byte budget,
+// automatically choosing the structural/value split by searching for the
+// ratio that minimizes the average relative estimation error on the
+// given sample workload (the extension Section 4.3 of the paper sketches
+// as future work). It returns the synopsis and the structural budget the
+// search selected.
+func AutoBuild(t *Tree, totalBudget int, sample []*Query, opts Options) (*Synopsis, int, error) {
+	if len(sample) == 0 {
+		return nil, 0, fmt.Errorf("xcluster: AutoBuild needs a sample workload")
+	}
+	ref, err := BuildReference(t, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev := query.NewEvaluator(t)
+	exact := make([]float64, len(sample))
+	for i, q := range sample {
+		exact[i] = ev.Selectivity(q)
+	}
+	score := func(s *Synopsis) float64 {
+		est := core.NewEstimator(s)
+		total := 0.0
+		for i, q := range sample {
+			denom := exact[i]
+			if denom < 1 {
+				denom = 1
+			}
+			total += absf(exact[i]-est.Selectivity(q)) / denom
+		}
+		return total / float64(len(sample))
+	}
+	s, bstr, _, err := core.AutoAllocate(ref, totalBudget, score, core.BuildOptions{})
+	return s, bstr, err
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteSynopsis serializes a synopsis (graph, dictionary, and value
+// summaries) in a compact binary format, so optimizer statistics can be
+// stored and shipped without the database.
+func WriteSynopsis(w io.Writer, s *Synopsis) error {
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteSynopsis and
+// validates its invariants.
+func ReadSynopsis(r io.Reader) (*Synopsis, error) {
+	return core.ReadSynopsis(r)
+}
+
+// WriteDOT renders the synopsis as a Graphviz digraph for visual
+// inspection of the structure-value clustering.
+func WriteDOT(w io.Writer, s *Synopsis) error {
+	return s.WriteDOT(w)
+}
+
+// ExactSelectivity evaluates the query over the full document, returning
+// the exact number of binding tuples. It is the ground truth against
+// which estimates are compared (and is linear in the document size, which
+// is exactly what a synopsis avoids).
+func ExactSelectivity(t *Tree, q *Query) float64 {
+	return query.NewEvaluator(t).Selectivity(q)
+}
+
+// Stats describes a synopsis for reporting.
+type Stats struct {
+	Nodes      int
+	ValueNodes int
+	Edges      int
+	StructKB   float64
+	ValueKB    float64
+	TotalKB    float64
+}
+
+// SynopsisStats summarizes a synopsis's size and composition.
+func SynopsisStats(s *Synopsis) Stats {
+	return Stats{
+		Nodes:      s.NumNodes(),
+		ValueNodes: s.NumValueNodes(),
+		Edges:      s.NumEdges(),
+		StructKB:   float64(s.StructBytes()) / 1024,
+		ValueKB:    float64(s.ValueBytes()) / 1024,
+		TotalKB:    float64(s.TotalBytes()) / 1024,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d clusters (%d with values), %d edges, %.1f KB structure + %.1f KB values = %.1f KB",
+		s.Nodes, s.ValueNodes, s.Edges, s.StructKB, s.ValueKB, s.TotalKB)
+}

@@ -1,0 +1,147 @@
+package xcluster_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xcluster"
+)
+
+const libraryDoc = `
+<library>
+  <book><title>Compilers Principles</title><year>1986</year>
+    <summary>lexical analysis parsing semantic translation code generation optimization</summary></book>
+  <book><title>Computer Networks</title><year>1996</year>
+    <summary>protocol layers routing congestion transport reliability sockets</summary></book>
+  <book><title>Operating Systems</title><year>2001</year>
+    <summary>processes threads scheduling memory virtualization filesystems concurrency</summary></book>
+  <journal><title>Acta Informatica</title><year>1971</year></journal>
+</library>`
+
+func parseLibrary(t *testing.T) *xcluster.Tree {
+	t.Helper()
+	tree, err := xcluster.ParseXML(strings.NewReader(libraryDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPublicBuildAndEstimate(t *testing.T) {
+	tree := parseLibrary(t)
+	syn, err := xcluster.Build(tree, xcluster.Options{StructBudget: 1024, ValueBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := xcluster.NewEstimator(syn)
+	q, err := xcluster.ParseQuery("//book[year>1990]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := est.Selectivity(q)
+	want := xcluster.ExactSelectivity(tree, q)
+	if want != 2 {
+		t.Fatalf("exact = %g, want 2", want)
+	}
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("estimate %g too far from %g", got, want)
+	}
+	st := xcluster.SynopsisStats(syn)
+	if st.Nodes == 0 || st.TotalKB <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "clusters") {
+		t.Fatalf("stats string = %q", st.String())
+	}
+}
+
+func TestPublicSerializationRoundTrip(t *testing.T) {
+	tree := parseLibrary(t)
+	syn, err := xcluster.Build(tree, xcluster.Options{StructBudget: 4096, ValueBudget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xcluster.WriteSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xcluster.ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := xcluster.ParseQuery("//book[summary ftcontains(concurrency)]")
+	a := xcluster.NewEstimator(syn).Selectivity(q)
+	b := xcluster.NewEstimator(back).Selectivity(q)
+	if math.Abs(a-b) > 1e-12*math.Max(1, a) {
+		t.Fatalf("round trip changed estimate: %g vs %g", a, b)
+	}
+}
+
+func TestPublicNumericSummaryOption(t *testing.T) {
+	tree := parseLibrary(t)
+	for _, kind := range []string{"", "histogram", "wavelet", "sample"} {
+		if _, err := xcluster.Build(tree, xcluster.Options{
+			StructBudget: 1024, ValueBudget: 1024, NumericSummary: kind,
+		}); err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+	}
+	if _, err := xcluster.Build(tree, xcluster.Options{NumericSummary: "tarot"}); err == nil {
+		t.Fatal("accepted unknown numeric summary kind")
+	}
+}
+
+func TestPublicAutoBuild(t *testing.T) {
+	tree := parseLibrary(t)
+	var sample []*xcluster.Query
+	for _, qs := range []string{"//book", "//book[year>1990]", "//book/title"} {
+		q, err := xcluster.ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample = append(sample, q)
+	}
+	total := 2048
+	syn, bstr, err := xcluster.AutoBuild(tree, total, sample, xcluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bstr <= 0 || bstr >= total {
+		t.Fatalf("chosen structural budget %d of %d", bstr, total)
+	}
+	// The chosen synopsis respects the total budget up to the tag-level
+	// floor (merging cannot go below one cluster per label).
+	if syn.TotalBytes() > 4*total {
+		t.Fatalf("synopsis %d bytes blows the %d budget", syn.TotalBytes(), total)
+	}
+	// And without a sample the call fails cleanly.
+	if _, _, err := xcluster.AutoBuild(tree, total, nil, xcluster.Options{}); err == nil {
+		t.Fatal("AutoBuild accepted an empty sample")
+	}
+}
+
+func TestPublicParseErrors(t *testing.T) {
+	if _, err := xcluster.ParseXML(strings.NewReader("<a><b></a>")); err == nil {
+		t.Fatal("accepted malformed XML")
+	}
+	if _, err := xcluster.ParseQuery("not a query"); err == nil {
+		t.Fatal("accepted malformed query")
+	}
+}
+
+func TestPublicWriteXML(t *testing.T) {
+	tree := parseLibrary(t)
+	var buf bytes.Buffer
+	if err := xcluster.WriteXML(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xcluster.ParseXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tree.Len() {
+		t.Fatalf("round trip: %d vs %d elements", back.Len(), tree.Len())
+	}
+}
