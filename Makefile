@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build test bench
+
+# The check gate: vet, build, full suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Estimation micro-benchmarks (cold vs cache-hit vs parallel).
+bench:
+	$(GO) test -run xxx -bench 'Estimate(|Cold|CacheHit|Parallel)$$' -benchmem .

@@ -283,20 +283,76 @@ func BenchmarkXClusterBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkEstimate measures per-query estimation over a compressed
-// synopsis (the operation a query optimizer issues).
-func BenchmarkEstimate(b *testing.B) {
+// benchSynopsis builds the mid-budget IMDB synopsis the estimation
+// benchmarks share.
+func benchSynopsis(b *testing.B) (*core.Synopsis, *harness.Dataset) {
+	b.Helper()
 	d := datasets(b)["IMDB"]
 	s, err := benchCfg.BuildAt(d, d.Ref.StructBytes()/20)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return s, d
+}
+
+// BenchmarkEstimate measures per-query estimation over a compressed
+// synopsis (the operation a query optimizer issues). The workload
+// repeats after the first pass, so with the default result cache this is
+// dominated by cache hits; see BenchmarkEstimateCold for the uncached
+// rate.
+func BenchmarkEstimate(b *testing.B) {
+	s, d := benchSynopsis(b)
 	est := core.NewEstimator(s)
 	qs := d.Workload.Queries
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est.Selectivity(qs[i%len(qs)].Q)
 	}
+}
+
+// BenchmarkEstimateCold measures estimation with the result cache
+// disabled: the full embedding-enumeration cost of every query.
+func BenchmarkEstimateCold(b *testing.B) {
+	s, d := benchSynopsis(b)
+	est := core.NewEstimator(s)
+	est.SetCacheCapacity(0)
+	qs := d.Workload.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Selectivity(qs[i%len(qs)].Q)
+	}
+}
+
+// BenchmarkEstimateCacheHit measures the pure cache-hit path (one query,
+// already resident).
+func BenchmarkEstimateCacheHit(b *testing.B) {
+	s, d := benchSynopsis(b)
+	est := core.NewEstimator(s)
+	q := d.Workload.Queries[0].Q
+	est.Selectivity(q) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Selectivity(q)
+	}
+}
+
+// BenchmarkEstimateParallel measures aggregate throughput of one shared
+// estimator under GOMAXPROCS concurrent clients, cache disabled so every
+// operation does real work (compare ns/op with BenchmarkEstimateCold for
+// the scaling factor).
+func BenchmarkEstimateParallel(b *testing.B) {
+	s, d := benchSynopsis(b)
+	est := core.NewEstimator(s)
+	est.SetCacheCapacity(0)
+	qs := d.Workload.Queries
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			est.Selectivity(qs[i%len(qs)].Q)
+			i++
+		}
+	})
 }
 
 // BenchmarkExactEvaluation measures exact binding-tuple counting over the

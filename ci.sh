@@ -1,0 +1,10 @@
+#!/bin/sh
+# The repository's check gate: vet, build everything, and run the full
+# test suite under the race detector (the concurrency tests in
+# concurrency_test.go and internal/service depend on -race to mean
+# anything). Same commands as `make check`.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

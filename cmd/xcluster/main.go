@@ -72,7 +72,7 @@ func main() {
 		fmt.Printf("tags:        %d\n", st.Labels)
 		fmt.Printf("max depth:   %d\n", st.MaxDepth)
 		fmt.Printf("terms:       %d\n", st.Terms)
-		ref, err := xcluster.BuildReference(tree, xcluster.Options{})
+		ref, err := xcluster.BuildReference(tree)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,7 +83,8 @@ func main() {
 			usage()
 		}
 		tree := loadDoc(fs.Arg(0))
-		syn, err := xcluster.Build(tree, xcluster.Options{StructBudget: *bstr, ValueBudget: *bval})
+		// The struct configuration rides through the Legacy adapter.
+		syn, err := xcluster.Build(tree, xcluster.Legacy(xcluster.Options{StructBudget: *bstr, ValueBudget: *bval}))
 		if err != nil {
 			fatal(err)
 		}
@@ -142,7 +143,7 @@ func main() {
 			}
 		case fs.NArg() == 1:
 			tree = loadDoc(fs.Arg(0))
-			syn, err = xcluster.Build(tree, xcluster.Options{StructBudget: *bstr, ValueBudget: *bval})
+			syn, err = xcluster.Build(tree, xcluster.Legacy(xcluster.Options{StructBudget: *bstr, ValueBudget: *bval}))
 			if err != nil {
 				fatal(err)
 			}

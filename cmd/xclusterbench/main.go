@@ -33,7 +33,8 @@ func main() {
 	points := flag.Int("points", 6, "structural budget points in the Figure 8 sweep")
 	table := flag.String("table", "", "run one table: 1 or 2")
 	figure := flag.String("figure", "", "run one figure: 8a, 8b or 9")
-	experiment := flag.String("experiment", "", "run one experiment: negative, ablations or autobudget")
+	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget or throughput")
+	workers := flag.Int("workers", 0, "goroutines for -experiment throughput (default GOMAXPROCS)")
 	csvOut := flag.Bool("csv", false, "emit Figure 8 rows as CSV (for plotting)")
 	flag.Parse()
 
@@ -129,6 +130,15 @@ func main() {
 		fmt.Println(harness.FormatAblations(th, ps, bd))
 		num := harness.AblationNumericSummaries(d, []int{512, 128, 64, 32}, *seed)
 		fmt.Println(harness.FormatNumericAblation(num))
+	}
+	if *experiment == "throughput" { // opt-in: wall-clock sensitive
+		var rows []harness.ThroughputRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.ThroughputExperiment(load(name), cfg, *workers, 0)
+			check(err)
+			rows = append(rows, r...)
+		}
+		fmt.Println(harness.FormatThroughput(rows))
 	}
 	if *experiment == "autobudget" { // opt-in: several extra builds per dataset
 		var rows []harness.AutoBudgetRow

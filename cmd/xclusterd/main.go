@@ -1,0 +1,98 @@
+// Command xclusterd serves twig-query selectivity estimates over HTTP
+// from a serialized XCluster synopsis: the deployment shape where one
+// small summary, built once from a large document, answers optimizer
+// estimate requests for a fleet of query processors.
+//
+// Usage:
+//
+//	xcluster build -bstr 10240 -bval 51200 -o syn.bin doc.xml
+//	xclusterd -syn syn.bin -addr :8080
+//
+//	curl -s localhost:8080/estimate -d '{"queries":["//paper[year>2000]/title"]}'
+//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/synopsis
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xcluster"
+	"xcluster/internal/service"
+)
+
+func main() {
+	var (
+		synPath = flag.String("syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "batch worker goroutines (default GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
+		cache   = flag.Int("cache", 0, "query-result cache capacity (default 1024, negative disables)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+	if *synPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: xclusterd -syn syn.bin [-addr :8080] [-workers N] [-timeout 5s] [-cache N]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*synPath)
+	if err != nil {
+		log.Fatalf("xclusterd: %v", err)
+	}
+	syn, err := xcluster.ReadSynopsis(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("xclusterd: reading synopsis: %v", err)
+	}
+
+	opts := []service.Option{service.WithTimeout(*timeout)}
+	if *workers > 0 {
+		opts = append(opts, service.WithWorkers(*workers))
+	}
+	if *cache != 0 {
+		opts = append(opts, service.WithCacheCapacity(*cache))
+	}
+	svc := service.New(syn, opts...)
+	log.Printf("xclusterd: serving %s on %s", xcluster.SynopsisStats(syn), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		log.Fatalf("xclusterd: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("xclusterd: shutting down (served %d, failed %d)",
+			svc.Stats().Served, svc.Stats().Failed)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("xclusterd: shutdown: %v", err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("xclusterd: %v", err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package xcluster
+
+import (
+	"errors"
+
+	"xcluster/internal/query"
+)
+
+// ErrBudgetTooSmall reports a Build/Compress call whose storage budgets
+// cannot hold any synopsis (a non-positive structural budget or a
+// negative value budget). Test with errors.Is.
+var ErrBudgetTooSmall = errors.New("xcluster: budget too small")
+
+// ErrUnknownNumericSummary reports an Options.NumericSummary string that
+// names none of the supported tools (histogram, wavelet, sample). The
+// typed WithNumericSummary option cannot produce it. Test with
+// errors.Is.
+var ErrUnknownNumericSummary = errors.New("xcluster: unknown numeric summary")
+
+// QueryParseError is the error type ParseQuery returns for malformed
+// queries; its Offset field reports the byte position of the failure.
+// Extract with errors.As:
+//
+//	var perr *xcluster.QueryParseError
+//	if errors.As(err, &perr) { fmt.Println(perr.Offset) }
+type QueryParseError = query.ParseError

@@ -22,7 +22,7 @@ func ExampleBuild() {
 	    <keywords>xml twig</keywords></paper>
 	</dblp>`
 	tree, _ := xcluster.ParseXML(strings.NewReader(doc))
-	syn, _ := xcluster.Build(tree, xcluster.Options{StructBudget: 1024, ValueBudget: 1024})
+	syn, _ := xcluster.Build(tree, xcluster.WithStructBudget(1024), xcluster.WithValueBudget(1024))
 
 	q, _ := xcluster.ParseQuery("//paper[year>2000][abstract ftcontains(xml,synopsis)]/title[contains(Tree)]")
 	est := xcluster.NewEstimator(syn)

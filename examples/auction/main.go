@@ -23,10 +23,10 @@ func main() {
 	tree := datagen.XMark(datagen.XMarkConfig{Seed: 23, Scale: 1})
 	fmt.Printf("document: %d elements\n", tree.Len())
 
-	ref, err := xcluster.BuildReference(tree, xcluster.Options{
-		ValuePaths: datagen.XMarkValuePaths(),
-		PSTDepth:   5,
-	})
+	ref, err := xcluster.BuildReference(tree,
+		xcluster.WithValuePaths(datagen.XMarkValuePaths()...),
+		xcluster.WithPSTDepth(5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

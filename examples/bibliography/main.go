@@ -63,7 +63,7 @@ func main() {
 	fmt.Printf("document: %d elements\n\n", tree.Len())
 
 	// The reference synopsis: lossless structure, detailed values.
-	ref, err := xcluster.BuildReference(tree, xcluster.Options{})
+	ref, err := xcluster.BuildReference(tree)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,10 +22,10 @@ func main() {
 	tree := datagen.IMDB(datagen.IMDBConfig{Seed: 11, Scale: 1})
 	fmt.Printf("document: %d elements\n", tree.Len())
 
-	ref, err := xcluster.BuildReference(tree, xcluster.Options{
-		ValuePaths: datagen.IMDBValuePaths(),
-		PSTDepth:   5,
-	})
+	ref, err := xcluster.BuildReference(tree,
+		xcluster.WithValuePaths(datagen.IMDBValuePaths()...),
+		xcluster.WithPSTDepth(5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,10 +38,10 @@ func main() {
 	}
 
 	total := 24 << 10 // one unified 24 KB budget
-	syn, bstr, err := xcluster.AutoBuild(tree, total, sample, xcluster.Options{
-		ValuePaths: datagen.XMarkValuePaths(),
-		PSTDepth:   5,
-	})
+	syn, bstr, err := xcluster.AutoBuild(tree, total, sample,
+		xcluster.WithValuePaths(datagen.XMarkValuePaths()...),
+		xcluster.WithPSTDepth(5),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -46,10 +46,10 @@ func main() {
 	fmt.Printf("document: %d elements\n", tree.Len())
 
 	// Build a synopsis within ~1 KB of total storage.
-	syn, err := xcluster.Build(tree, xcluster.Options{
-		StructBudget: 512,
-		ValueBudget:  512,
-	})
+	syn, err := xcluster.Build(tree,
+		xcluster.WithStructBudget(512),
+		xcluster.WithValueBudget(512),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -78,9 +79,18 @@ func (o BuildOptions) withDefaults() BuildOptions {
 // phase then compresses the per-node value summaries within ValueBudget.
 // The reference synopsis is not modified.
 func XClusterBuild(ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
+	return XClusterBuildContext(context.Background(), ref, opts)
+}
+
+// XClusterBuildContext is XClusterBuild with cancellation: the merge
+// phase checks ctx at every pool (re)build and periodically while
+// draining it, and the value phase checks between compression steps, so
+// huge builds abort within a bounded amount of work of ctx ending. The
+// error is ctx.Err() when cancellation caused the abort.
+func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
 	opts = opts.withDefaults()
 	s := ref.Clone()
-	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int)}
+	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int), ctx: ctx}
 	if opts.GlobalMetric {
 		b.ref = ref
 		b.members = make(map[NodeID][]NodeID, len(ref.nodes))
@@ -97,7 +107,9 @@ func XClusterBuild(ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
 	} else if err := b.mergePhase(); err != nil {
 		return nil, err
 	}
-	b.valuePhase()
+	if err := b.valuePhase(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -222,6 +234,9 @@ func XClusterSweep(ref *Synopsis, structBudgets []int, valueBudget int, opts Bui
 type builder struct {
 	s    *Synopsis
 	opts BuildOptions
+	// ctx, when non-nil, is polled at phase boundaries so callers can
+	// abort long builds.
+	ctx context.Context
 	// onMerge, when set, runs after every applied merge (used by
 	// XClusterSweep to snapshot budget crossings).
 	onMerge func()
@@ -513,10 +528,21 @@ func (b *builder) buildPool(l int, levels map[NodeID]int) *candHeap {
 
 // ---- phase 1: structure-value merge ----
 
+// cancelled returns the builder context's error, if any.
+func (b *builder) cancelled() error {
+	if b.ctx == nil {
+		return nil
+	}
+	return b.ctx.Err()
+}
+
 func (b *builder) mergePhase() error {
 	opts := b.opts
 	l := 1
 	for b.s.StructBytes() > opts.StructBudget {
+		if err := b.cancelled(); err != nil {
+			return err
+		}
 		levels := b.s.Levels()
 		maxLvl := 0
 		for _, lv := range levels {
@@ -547,7 +573,12 @@ func (b *builder) mergePhase() error {
 		}
 		merged := 0
 		maxNewLevel := 0
-		for pool.Len() > stopAt && b.s.StructBytes() > opts.StructBudget {
+		for pops := 0; pool.Len() > stopAt && b.s.StructBytes() > opts.StructBudget; pops++ {
+			if pops%256 == 0 {
+				if err := b.cancelled(); err != nil {
+					return err
+				}
+			}
 			c := heap.Pop(pool).(*mergeCand)
 			u, v := b.s.nodes[c.u], b.s.nodes[c.v]
 			if u == nil || v == nil {
@@ -703,11 +734,11 @@ func (b *builder) newValCand(u *Node, excess int) *valCand {
 	}
 }
 
-func (b *builder) valuePhase() {
+func (b *builder) valuePhase() error {
 	cur := b.s.ValueBytes()
 	budget := b.opts.ValueBudget
 	if cur <= budget {
-		return
+		return nil
 	}
 	var h valHeap
 	for _, n := range b.s.Nodes() {
@@ -716,7 +747,12 @@ func (b *builder) valuePhase() {
 		}
 	}
 	heap.Init(&h)
-	for cur > budget && h.Len() > 0 {
+	for pops := 0; cur > budget && h.Len() > 0; pops++ {
+		if pops%256 == 0 {
+			if err := b.cancelled(); err != nil {
+				return err
+			}
+		}
 		c := heap.Pop(&h).(*valCand)
 		n := b.s.nodes[c.u]
 		if n == nil || n.VSum != c.base {
@@ -734,4 +770,5 @@ func (b *builder) valuePhase() {
 			heap.Push(&h, fresh)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a snapshot of the estimator's query-result cache.
+type CacheStats struct {
+	// Hits and Misses count cache lookups since construction (or the
+	// last SetCacheCapacity).
+	Hits, Misses uint64
+	// Len is the current number of cached queries; Capacity the maximum.
+	Len, Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// queryCache is a mutex-guarded LRU of canonical query string → computed
+// selectivity. Entries are immutable once inserted (estimates over an
+// immutable synopsis never change), so a hit can be returned without
+// copying. Hit/miss counters are atomics so they never contend with the
+// list manipulation.
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// cacheEntry is one LRU element.
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value for key and whether it was present.
+func (c *queryCache) get(key string) (float64, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*cacheEntry).val
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// put inserts key → val, evicting the least recently used entry when the
+// cache is full. Concurrent puts of the same key are idempotent (both
+// goroutines computed the same deterministic estimate).
+func (c *queryCache) put(key string, val float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// stats snapshots the counters and occupancy.
+func (c *queryCache) stats() CacheStats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Len:      n,
+		Capacity: c.capacity,
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"strconv"
+	"sync"
 
 	"xcluster/internal/query"
 	"xcluster/internal/xmltree"
@@ -13,66 +16,199 @@ import (
 // the structural and value constraints) and combines edge counts with
 // predicate selectivities under the generalized Path-Value Independence
 // assumption — the selectivity of a path u[p]/c is |u|·σ_p(u)·count(u,c).
+//
+// An Estimator is safe for concurrent use by multiple goroutines: the
+// synopsis is immutable after Build, the descendant-closure vectors are
+// precomputed at construction, per-call memo tables come from a
+// sync.Pool, and the query-result cache is internally synchronized. The
+// one exception is configuration (UninformedSel, SetCacheCapacity),
+// which must happen before the estimator is shared.
 type Estimator struct {
 	s *Synopsis
 	// UninformedSel is the selectivity assumed for a value predicate on
 	// a type-matching cluster that carries no value summary (a value
 	// path not configured for summarization). The default 0 keeps
 	// negative queries at the near-zero estimates reported in the paper;
-	// set 1 for an optimistic (superset) estimate instead.
+	// set 1 for an optimistic (superset) estimate instead. Set it before
+	// sharing the estimator across goroutines.
 	UninformedSel float64
-	// desc caches, per synopsis node, the expected number of
-	// proper-descendant elements per cluster, per element of the node.
-	desc map[NodeID]map[NodeID]float64
+	// kids is the per-node child adjacency as id-sorted slices: the
+	// deterministic, cache-friendly iteration order that makes estimates
+	// reproducible bit-for-bit across runs and across goroutines
+	// (floating-point accumulation order is fixed). Immutable.
+	kids map[NodeID][]weight
+	// desc holds, per synopsis node, the expected number of
+	// proper-descendant elements per cluster, per element of the node,
+	// id-sorted. Precomputed for every node at construction; immutable.
+	desc map[NodeID][]weight
+	// memos pools the per-call memo tables so concurrent Selectivity
+	// calls allocate nothing on the steady state.
+	memos sync.Pool
+	// cache memoizes full query results by canonical query string; nil
+	// when disabled.
+	cache *queryCache
 }
 
-// NewEstimator returns an estimator over the synopsis.
+// weight is one (node, expected count) pair of a sparse vector.
+type weight struct {
+	id NodeID
+	w  float64
+}
+
+// DefaultCacheCapacity is the number of distinct queries the result
+// cache retains unless SetCacheCapacity overrides it.
+const DefaultCacheCapacity = 1024
+
+// NewEstimator returns an estimator over the synopsis, ready to be
+// shared across goroutines. Construction precomputes the
+// descendant-closure vectors of every node (the work Selectivity
+// previously redid lazily per estimator) and enables a result cache of
+// DefaultCacheCapacity queries.
 func NewEstimator(s *Synopsis) *Estimator {
-	return &Estimator{s: s, desc: make(map[NodeID]map[NodeID]float64)}
+	e := &Estimator{
+		s:     s,
+		kids:  buildKidIndex(s),
+		cache: newQueryCache(DefaultCacheCapacity),
+	}
+	e.desc = buildDescIndex(s)
+	e.memos.New = func() any { return make(map[memoKey]float64) }
+	return e
+}
+
+// SetCacheCapacity resizes the query-result cache to hold n entries
+// (n <= 0 disables caching). Counters reset. Call before sharing the
+// estimator across goroutines.
+func (e *Estimator) SetCacheCapacity(n int) {
+	if n <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = newQueryCache(n)
+}
+
+// CacheStats returns the result cache's hit/miss counters and occupancy
+// (zero-valued when the cache is disabled).
+func (e *Estimator) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// buildKidIndex converts each node's child map into an id-sorted slice.
+func buildKidIndex(s *Synopsis) map[NodeID][]weight {
+	kids := make(map[NodeID][]weight, len(s.nodes))
+	for id, n := range s.nodes {
+		if len(n.Children) == 0 {
+			continue
+		}
+		ws := make([]weight, 0, len(n.Children))
+		for c, avg := range n.Children {
+			ws = append(ws, weight{id: c, w: avg})
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+		kids[id] = ws
+	}
+	return kids
 }
 
 // Selectivity estimates s(Q), the expected number of binding tuples.
 func (e *Estimator) Selectivity(q *query.Query) float64 {
-	memo := make(map[*query.Node]map[NodeID]float64)
+	if e.cache != nil {
+		key := e.cacheKey(q)
+		if v, ok := e.cache.get(key); ok {
+			return v
+		}
+		v := e.selectivity(q)
+		e.cache.put(key, v)
+		return v
+	}
+	return e.selectivity(q)
+}
+
+// SelectivityContext is Selectivity with cancellation: it checks ctx
+// before evaluating each root variable (cache hits short-circuit). Use
+// it when estimates are served under a request deadline.
+func (e *Estimator) SelectivityContext(ctx context.Context, q *query.Query) (float64, error) {
+	var key string
+	if e.cache != nil {
+		key = e.cacheKey(q)
+		if v, ok := e.cache.get(key); ok {
+			return v, nil
+		}
+	}
+	memo := e.memos.Get().(map[memoKey]float64)
+	defer func() {
+		clear(memo)
+		e.memos.Put(memo)
+	}()
+	total := 1.0
+	for _, r := range q.Roots {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total *= e.estimate(r, -1, memo)
+	}
+	if e.cache != nil {
+		e.cache.put(key, total)
+	}
+	return total, nil
+}
+
+// cacheKey is the canonical cache key of a query: its canonical string,
+// salted with UninformedSel when nonzero (the estimate depends on it).
+func (e *Estimator) cacheKey(q *query.Query) string {
+	if e.UninformedSel == 0 {
+		return q.String()
+	}
+	return strconv.FormatFloat(e.UninformedSel, 'g', -1, 64) + "|" + q.String()
+}
+
+// selectivity runs the memoized embedding estimate, bypassing the cache.
+func (e *Estimator) selectivity(q *query.Query) float64 {
+	memo := e.memos.Get().(map[memoKey]float64)
 	total := 1.0
 	for _, r := range q.Roots {
 		total *= e.estimate(r, -1, memo)
 	}
+	clear(memo)
+	e.memos.Put(memo)
 	return total
+}
+
+// memoKey identifies one (query variable, origin cluster) subproblem of
+// a single Selectivity call.
+type memoKey struct {
+	v    *query.Node
+	from NodeID
 }
 
 // estimate returns the expected number of binding tuples of the query
 // subtree rooted at variable v, per element of the synopsis node from
 // (from = -1 denotes the virtual document node above the root).
-func (e *Estimator) estimate(v *query.Node, from NodeID, memo map[*query.Node]map[NodeID]float64) float64 {
-	if m := memo[v]; m != nil {
-		if val, ok := m[from]; ok {
-			return val
-		}
+func (e *Estimator) estimate(v *query.Node, from NodeID, memo map[memoKey]float64) float64 {
+	k := memoKey{v: v, from: from}
+	if val, ok := memo[k]; ok {
+		return val
 	}
 	frontier := e.reach(from, v.Steps)
 	total := 0.0
-	for t, cnt := range frontier {
-		node := e.s.nodes[t]
+	for _, fw := range frontier {
+		node := e.s.nodes[fw.id]
 		sel := e.predSel(node, v.Pred)
 		if sel == 0 {
 			continue
 		}
-		prod := cnt * sel
+		prod := fw.w * sel
 		for _, c := range v.Children {
-			prod *= e.estimate(c, t, memo)
+			prod *= e.estimate(c, fw.id, memo)
 			if prod == 0 {
 				break
 			}
 		}
 		total += prod
 	}
-	m := memo[v]
-	if m == nil {
-		m = make(map[NodeID]float64)
-		memo[v] = m
-	}
-	m[from] = total
+	memo[k] = total
 	return total
 }
 
@@ -106,9 +242,11 @@ func (e *Estimator) predSel(n *Node, p query.Pred) float64 {
 // reach returns, for each synopsis node t, the expected number of
 // elements of t reached from one element of `from` by the step sequence
 // (the product of average edge counts along all matching synopsis paths,
-// as in the Figure 7 walkthrough).
-func (e *Estimator) reach(from NodeID, steps []query.Step) map[NodeID]float64 {
-	frontier := make(map[NodeID]float64)
+// as in the Figure 7 walkthrough). The result is id-sorted; every
+// accumulation iterates id-sorted inputs, so the floating-point sums are
+// order-deterministic.
+func (e *Estimator) reach(from NodeID, steps []query.Step) []weight {
+	acc := make(map[NodeID]float64)
 	rest := steps
 	if from == -1 {
 		// The virtual document node has a single child: the root
@@ -119,40 +257,40 @@ func (e *Estimator) reach(from NodeID, steps []query.Step) map[NodeID]float64 {
 		rest = steps[1:]
 		if st.Axis == query.Child {
 			if st.Matches(root.Label) {
-				frontier[root.ID] = root.Count
+				acc[root.ID] = root.Count
 			}
 		} else {
 			if st.Matches(root.Label) {
-				frontier[root.ID] += root.Count
+				acc[root.ID] += root.Count
 			}
-			for d, cnt := range e.descVec(root.ID) {
-				if st.Matches(e.s.nodes[d].Label) {
-					frontier[d] += root.Count * cnt
+			for _, d := range e.desc[root.ID] {
+				if st.Matches(e.s.nodes[d.id].Label) {
+					acc[d.id] += root.Count * d.w
 				}
 			}
 		}
 	} else {
-		frontier[from] = 1
+		acc[from] = 1
 	}
+	frontier := sortedWeights(acc)
 	for _, st := range rest {
 		next := make(map[NodeID]float64)
-		for uid, cnt := range frontier {
-			u := e.s.nodes[uid]
+		for _, fw := range frontier {
 			if st.Axis == query.Child {
-				for c, avg := range u.Children {
-					if st.Matches(e.s.nodes[c].Label) {
-						next[c] += cnt * avg
+				for _, c := range e.kids[fw.id] {
+					if st.Matches(e.s.nodes[c.id].Label) {
+						next[c.id] += fw.w * c.w
 					}
 				}
 			} else {
-				for d, dc := range e.descVec(uid) {
-					if st.Matches(e.s.nodes[d].Label) {
-						next[d] += cnt * dc
+				for _, d := range e.desc[fw.id] {
+					if st.Matches(e.s.nodes[d.id].Label) {
+						next[d.id] += fw.w * d.w
 					}
 				}
 			}
 		}
-		frontier = next
+		frontier = sortedWeights(next)
 		if len(frontier) == 0 {
 			break
 		}
@@ -160,33 +298,61 @@ func (e *Estimator) reach(from NodeID, steps []query.Step) map[NodeID]float64 {
 	return frontier
 }
 
-// descVec returns the expected number of proper-descendant elements per
-// cluster, per element of node uid:
+// sortedWeights flattens a sparse vector into an id-sorted slice.
+func sortedWeights(m map[NodeID]float64) []weight {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]weight, 0, len(m))
+	for id, w := range m {
+		out = append(out, weight{id: id, w: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// buildDescIndex computes the descendant-closure vector of every node:
 //
 //	desc(u)[d] = Σ_c count(u,c)·(δ_{c=d} + desc(c)[d])
 //
 // Cycles (possible after aggressive merging) are truncated at the
 // back-edge: a node currently on the recursion stack contributes its
 // direct reach only, which keeps the computation finite and errs low.
-func (e *Estimator) descVec(uid NodeID) map[NodeID]float64 {
-	if v, ok := e.desc[uid]; ok {
-		return v
+// Vectors whose subgraph required no truncation ("clean") are exact and
+// shared across starting nodes; cycle-tainted vectors depend on where
+// the cycle was cut, so each is computed from its own node as the
+// traversal root — exactly the value the previous lazy implementation
+// produced at query time.
+func buildDescIndex(s *Synopsis) map[NodeID][]weight {
+	perm := make(map[NodeID]map[NodeID]float64) // clean (exact) vectors
+	final := make(map[NodeID][]weight, len(s.nodes))
+	// kidsOf iterates children deterministically: where a cycle is cut
+	// depends on traversal order, and estimates must be reproducible
+	// across runs and serialization round trips.
+	kidsOf := make(map[NodeID][]weight, len(s.nodes))
+	for id, n := range s.nodes {
+		ws := make([]weight, 0, len(n.Children))
+		for c, avg := range n.Children {
+			ws = append(ws, weight{id: c, w: avg})
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+		kidsOf[id] = ws
 	}
+
 	onStack := make(map[NodeID]bool)
-	// local memoizes cycle-tainted vectors for this traversal only: they
-	// depend on where the cycle was cut, so they must not enter the
-	// permanent cache, but without any memo a DAG with shared
-	// substructure makes the recursion exponential.
-	local := make(map[NodeID]map[NodeID]float64)
+	// local memoizes cycle-tainted vectors within one top-level
+	// traversal only: without any memo a DAG with shared substructure
+	// makes the recursion exponential.
+	var local map[NodeID]map[NodeID]float64
 	// rec reports whether the vector is clean (no cycle truncation in
-	// its subgraph); only clean vectors are cached permanently.
+	// its subgraph); only clean vectors are shared across traversals.
 	// Self-loops — the common cycle after merging recursively nested
 	// same-label clusters — are resolved exactly via the geometric
 	// series desc = (base + a·e_self) / (1 − a); longer cycles are
 	// truncated.
 	var rec func(id NodeID) (map[NodeID]float64, bool)
 	rec = func(id NodeID) (map[NodeID]float64, bool) {
-		if v, ok := e.desc[id]; ok {
+		if v, ok := perm[id]; ok {
 			return v, true
 		}
 		if v, ok := local[id]; ok {
@@ -196,17 +362,8 @@ func (e *Estimator) descVec(uid NodeID) map[NodeID]float64 {
 		out := make(map[NodeID]float64)
 		clean := true
 		self := 0.0
-		// Deterministic child order: where a cycle is cut depends on
-		// traversal order, and estimates must be reproducible across
-		// runs and serialization round trips.
-		children := make([]int, 0, len(e.s.nodes[id].Children))
-		for c := range e.s.nodes[id].Children {
-			children = append(children, int(c))
-		}
-		sort.Ints(children)
-		for _, ci := range children {
-			c := NodeID(ci)
-			avg := e.s.nodes[id].Children[c]
+		for _, kw := range kidsOf[id] {
+			c, avg := kw.id, kw.w
 			if c == id {
 				self = avg
 				continue
@@ -237,12 +394,26 @@ func (e *Estimator) descVec(uid NodeID) map[NodeID]float64 {
 		}
 		delete(onStack, id)
 		if clean {
-			e.desc[id] = out
+			perm[id] = out
 		} else {
 			local[id] = out
 		}
 		return out, clean
 	}
-	v, _ := rec(uid)
-	return v
+
+	ids := make([]int, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		id := NodeID(i)
+		v, ok := perm[id]
+		if !ok {
+			local = make(map[NodeID]map[NodeID]float64)
+			v, _ = rec(id)
+		}
+		final[id] = sortedWeights(v)
+	}
+	return final
 }

@@ -67,13 +67,13 @@ func (e *Estimator) Explain(q *query.Query, limit int) []Embedding {
 			from = assignment[info.parent]
 		}
 		frontier := e.reach(from, info.node.Steps)
-		for t, cnt := range frontier {
-			sel := e.predSel(e.s.nodes[t], info.node.Pred)
-			if sel == 0 || cnt == 0 {
+		for _, fw := range frontier {
+			sel := e.predSel(e.s.nodes[fw.id], info.node.Pred)
+			if sel == 0 || fw.w == 0 {
 				continue
 			}
-			assignment[i] = t
-			rec(i+1, contrib*cnt*sel)
+			assignment[i] = fw.id
+			rec(i+1, contrib*fw.w*sel)
 		}
 	}
 	rec(0, 1)

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+)
+
+// ThroughputRow is one serving configuration of the throughput
+// experiment: estimation queries per second through one shared estimator.
+type ThroughputRow struct {
+	Dataset string
+	// Mode is "sequential" or "parallel"; Cached reports whether the
+	// query-result cache was enabled.
+	Mode    string
+	Cached  bool
+	Workers int
+	Queries int
+	QPS     float64
+	// HitRate is the cache hit rate observed during the run (0 when the
+	// cache is disabled).
+	HitRate float64
+}
+
+// ThroughputExperiment measures the serving throughput of one shared
+// estimator over the dataset's positive workload in four configurations:
+// sequential and parallel (workers goroutines), each cold (cache off)
+// and cached. It quantifies the two concurrency claims of the estimator
+// redesign: parallel clients scale past the sequential rate, and the
+// result cache multiplies the steady-state rate of a repeating workload.
+func ThroughputExperiment(d *Dataset, cfg Config, workers, iters int) ([]ThroughputRow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if iters <= 0 {
+		iters = 4000
+	}
+	syn, err := cfg.BuildAt(d, d.Ref.StructBytes()/20)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]*query.Query, 0, len(d.Workload.Queries))
+	for i := range d.Workload.Queries {
+		qs = append(qs, d.Workload.Queries[i].Q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("harness: dataset %s has an empty workload", d.Name)
+	}
+
+	var rows []ThroughputRow
+	for _, mode := range []struct {
+		name    string
+		cached  bool
+		workers int
+	}{
+		{"sequential", false, 1},
+		{"sequential", true, 1},
+		{"parallel", false, workers},
+		{"parallel", true, workers},
+	} {
+		est := core.NewEstimator(syn)
+		if !mode.cached {
+			est.SetCacheCapacity(0)
+		}
+		elapsed := hammer(est, qs, mode.workers, iters)
+		row := ThroughputRow{
+			Dataset: d.Name,
+			Mode:    mode.name,
+			Cached:  mode.cached,
+			Workers: mode.workers,
+			Queries: iters,
+			QPS:     float64(iters) / elapsed.Seconds(),
+			HitRate: est.CacheStats().HitRate(),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// hammer runs iters estimates against the shared estimator from the
+// given number of goroutines and returns the wall-clock time.
+func hammer(est *core.Estimator, qs []*query.Query, workers, iters int) time.Duration {
+	t0 := time.Now()
+	if workers <= 1 {
+		for i := 0; i < iters; i++ {
+			est.Selectivity(qs[i%len(qs)])
+		}
+		return time.Since(t0)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= iters {
+					return
+				}
+				est.Selectivity(qs[i%len(qs)])
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(t0)
+}
+
+// FormatThroughput renders throughput rows as aligned text.
+func FormatThroughput(rows []ThroughputRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Estimation Throughput (one shared estimator)\n")
+	fmt.Fprintf(&sb, "%-8s %-12s %-8s %8s %10s %12s %9s\n",
+		"", "Mode", "Cache", "Workers", "Queries", "QPS", "Hit Rate")
+	for _, r := range rows {
+		cache := "off"
+		if r.Cached {
+			cache = "on"
+		}
+		fmt.Fprintf(&sb, "%-8s %-12s %-8s %8d %10d %12.0f %8.0f%%\n",
+			r.Dataset, r.Mode, cache, r.Workers, r.Queries, r.QPS, r.HitRate*100)
+	}
+	return sb.String()
+}

@@ -58,13 +58,30 @@ func MustParse(s string) *Query {
 	return q
 }
 
+// ParseError reports a syntax error in a query string together with the
+// byte offset at which parsing failed, so callers (editors, HTTP
+// services) can point at the offending position instead of grepping the
+// message.
+type ParseError struct {
+	// Input is the full query string handed to Parse.
+	Input string
+	// Offset is the byte offset in Input where parsing failed.
+	Offset int
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
 type parser struct {
 	s   string
 	pos int
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("query: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+	return &ParseError{Input: p.s, Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipSpace() {
@@ -108,7 +125,11 @@ func (p *parser) number() (int, error) {
 	if p.pos == start {
 		return 0, p.errf("expected a number")
 	}
-	return strconv.Atoi(p.s[start:p.pos])
+	n, err := strconv.Atoi(p.s[start:p.pos])
+	if err != nil {
+		return 0, p.errf("number %q out of range", p.s[start:p.pos])
+	}
+	return n, nil
 }
 
 // parseSteps consumes one or more steps. When implicitChild is true, a

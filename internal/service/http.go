@@ -1,0 +1,180 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"xcluster/internal/query"
+)
+
+// maxRequestBytes bounds the size of a POST /estimate body.
+const maxRequestBytes = 1 << 20
+
+// EstimateRequest is the body of POST /estimate.
+type EstimateRequest struct {
+	// Queries are twig queries in the XPath fragment ParseQuery accepts.
+	Queries []string `json:"queries"`
+	// Explain asks for the top synopsis embeddings of each query.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// EstimateResult is one entry of an EstimateResponse, positional with the
+// request's Queries. Exactly one of Selectivity and Error is set; parse
+// failures additionally carry the byte offset of the failure.
+type EstimateResult struct {
+	Query       string   `json:"query"`
+	Selectivity *float64 `json:"selectivity,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Offset      *int     `json:"offset,omitempty"`
+	Explain     []string `json:"explain,omitempty"`
+}
+
+// EstimateResponse is the body of a successful POST /estimate.
+type EstimateResponse struct {
+	Results []EstimateResult `json:"results"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Served         uint64  `json:"served"`
+	Failed         uint64  `json:"failed"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheLen       int     `json:"cache_len"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	P50            string  `json:"p50"`
+	P99            string  `json:"p99"`
+	LatencySamples int     `json:"latency_samples"`
+	Uptime         string  `json:"uptime"`
+}
+
+// SynopsisResponse is the body of GET /synopsis: the size and composition
+// of the served synopsis.
+type SynopsisResponse struct {
+	Nodes       int `json:"nodes"`
+	ValueNodes  int `json:"value_nodes"`
+	Edges       int `json:"edges"`
+	StructBytes int `json:"struct_bytes"`
+	ValueBytes  int `json:"value_bytes"`
+	TotalBytes  int `json:"total_bytes"`
+}
+
+// explainLimit caps the embeddings returned per query when Explain is set.
+const explainLimit = 5
+
+// Handler returns the service's HTTP API:
+//
+//	POST /estimate  {"queries":["//a[b>1]",...],"explain":false}
+//	GET  /stats     counters, cache hit rate, latency percentiles
+//	GET  /synopsis  size and composition of the served synopsis
+//	GET  /healthz   liveness probe
+//
+// Per-query failures (parse errors, unknown labels) are reported inline in
+// the results array; whole-request failures (malformed JSON, deadline
+// exceeded) use HTTP status codes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /synopsis", s.handleSynopsis)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+
+	results := make([]EstimateResult, len(req.Queries))
+	var qs []*query.Query // parsed queries, in request order
+	var pos []int         // pos[j] = results index of qs[j]
+	for i, qstr := range req.Queries {
+		results[i].Query = qstr
+		q, err := query.Parse(qstr)
+		if err != nil {
+			results[i].Error = err.Error()
+			var perr *query.ParseError
+			if errors.As(err, &perr) {
+				off := perr.Offset
+				results[i].Offset = &off
+			}
+			continue
+		}
+		qs = append(qs, q)
+		pos = append(pos, i)
+	}
+
+	sels, err := s.EstimateBatch(r.Context(), qs)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	for j, i := range pos {
+		v := sels[j]
+		results[i].Selectivity = &v
+		if req.Explain {
+			results[i].Explain = s.Explain(qs[j], explainLimit)
+		}
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{Results: results})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Served:         st.Served,
+		Failed:         st.Failed,
+		CacheHits:      st.Cache.Hits,
+		CacheMisses:    st.Cache.Misses,
+		CacheHitRate:   st.Cache.HitRate(),
+		CacheLen:       st.Cache.Len,
+		CacheCapacity:  st.Cache.Capacity,
+		P50:            st.P50.String(),
+		P99:            st.P99.String(),
+		LatencySamples: st.LatencySamples,
+		Uptime:         st.Uptime.String(),
+	})
+}
+
+func (s *Service) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SynopsisResponse{
+		Nodes:       s.syn.NumNodes(),
+		ValueNodes:  s.syn.NumValueNodes(),
+		Edges:       s.syn.NumEdges(),
+		StructBytes: s.syn.StructBytes(),
+		ValueBytes:  s.syn.ValueBytes(),
+		TotalBytes:  s.syn.TotalBytes(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

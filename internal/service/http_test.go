@@ -1,0 +1,146 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestHTTPEstimate(t *testing.T) {
+	svc := New(newTestSynopsis(t))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := `{"queries":["//book[year>1990]","//book[year>","//journal/title"],"explain":true}`
+	resp, raw := postJSON(t, srv, "/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var er EstimateResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("%v in %s", err, raw)
+	}
+	if len(er.Results) != 3 {
+		t.Fatalf("results = %+v", er.Results)
+	}
+	// Good queries: selectivity plus (explain=true) embeddings.
+	for _, i := range []int{0, 2} {
+		r := er.Results[i]
+		if r.Selectivity == nil || r.Error != "" {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if len(r.Explain) == 0 {
+			t.Fatalf("result %d has no explain lines", i)
+		}
+	}
+	// The malformed query fails inline with its byte offset; the others
+	// are still answered.
+	bad := er.Results[1]
+	if bad.Selectivity != nil || bad.Error == "" {
+		t.Fatalf("bad result = %+v", bad)
+	}
+	if bad.Offset == nil || *bad.Offset != len("//book[year>") {
+		t.Fatalf("bad offset = %v", bad.Offset)
+	}
+
+	// Whole-request failures are HTTP errors.
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"queries":[]}`, http.StatusBadRequest},
+		{`{not json`, http.StatusBadRequest},
+		{`{"queries":["//book"],"bogus":1}`, http.StatusBadRequest},
+	} {
+		resp, _ := postJSON(t, srv, "/estimate", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("body %q: status = %d, want %d", tc.body, resp.StatusCode, tc.code)
+		}
+	}
+
+	// Wrong method on a method-scoped route.
+	resp, err := http.Get(srv.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /estimate: status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndSynopsis(t *testing.T) {
+	svc := New(newTestSynopsis(t))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Serve a batch twice so /stats shows traffic and cache hits.
+	for i := 0; i < 2; i++ {
+		resp, raw := postJSON(t, srv, "/estimate", `{"queries":["//book[year>1990]","//book/title"]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate status = %d, body %s", resp.StatusCode, raw)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 4 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CacheHits < 2 || st.CacheHitRate <= 0 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+	if st.LatencySamples != 4 || st.P50 == "" || st.Uptime == "" {
+		t.Fatalf("latency stats = %+v", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/synopsis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syn SynopsisResponse
+	err = json.NewDecoder(resp.Body).Decode(&syn)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Nodes == 0 || syn.Edges == 0 || syn.TotalBytes == 0 {
+		t.Fatalf("synopsis = %+v", syn)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 16)
+	n, _ := resp.Body.Read(b)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(b[:n]), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, b[:n])
+	}
+}

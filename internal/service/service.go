@@ -1,0 +1,249 @@
+// Package service turns an XCluster synopsis into a concurrent
+// selectivity-estimation service: the deployment shape of the paper's
+// optimizer statistics, where one small immutable synopsis answers
+// estimate requests from many query-optimizer workers at once.
+//
+// A Service wraps a synopsis and a shared thread-safe Estimator and
+// offers batch estimation with a bounded worker pool, per-request
+// deadlines via context, and an observable Stats snapshot (queries
+// served, cache hit rate, latency percentiles from a ring buffer). The
+// HTTP layer in http.go exposes the same operations over JSON for
+// cmd/xclusterd.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+)
+
+// Option configures New.
+type Option func(*Service)
+
+// WithWorkers caps the number of goroutines EstimateBatch uses
+// (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Service) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithTimeout sets a per-request deadline applied to every Estimate and
+// EstimateBatch call on top of the caller's context (0 disables).
+func WithTimeout(d time.Duration) Option {
+	return func(s *Service) { s.timeout = d }
+}
+
+// WithCacheCapacity sets the shared estimator's query-result cache
+// capacity (<= 0 disables caching).
+func WithCacheCapacity(n int) Option {
+	return func(s *Service) { s.est.SetCacheCapacity(n) }
+}
+
+// WithUninformedSel sets the estimator's selectivity for predicates on
+// unsummarized type-matching clusters.
+func WithUninformedSel(sel float64) Option {
+	return func(s *Service) { s.est.UninformedSel = sel }
+}
+
+// latWindow is the number of recent per-query latencies retained for
+// percentile reporting.
+const latWindow = 4096
+
+// Service is a concurrent estimation service over one immutable
+// synopsis. All methods are safe for concurrent use.
+type Service struct {
+	syn     *core.Synopsis
+	est     *core.Estimator
+	workers int
+	timeout time.Duration
+
+	served atomic.Uint64
+	failed atomic.Uint64
+	start  time.Time
+
+	// lat is a ring buffer of recent per-query latencies; idx is the
+	// next write position (monotonically increasing, wrapped on read).
+	latMu sync.Mutex
+	lat   [latWindow]time.Duration
+	idx   uint64
+}
+
+// New returns a service over the synopsis. The service owns a shared
+// estimator configured by the options; configuration after New is not
+// synchronized.
+func New(syn *core.Synopsis, opts ...Option) *Service {
+	s := &Service{
+		syn:     syn,
+		est:     core.NewEstimator(syn),
+		workers: runtime.GOMAXPROCS(0),
+		start:   time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Synopsis returns the served synopsis.
+func (s *Service) Synopsis() *core.Synopsis { return s.syn }
+
+// Estimator returns the shared estimator (for callers that want direct
+// access, e.g. Explain).
+func (s *Service) Estimator() *core.Estimator { return s.est }
+
+// Estimate answers one query under the service's deadline.
+func (s *Service) Estimate(ctx context.Context, q *query.Query) (float64, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	return s.estimateOne(ctx, q)
+}
+
+// estimateOne runs one estimate, recording latency and counters.
+func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, error) {
+	t0 := time.Now()
+	v, err := s.est.SelectivityContext(ctx, q)
+	if err != nil {
+		s.failed.Add(1)
+		return 0, err
+	}
+	s.observe(time.Since(t0))
+	s.served.Add(1)
+	return v, nil
+}
+
+// EstimateBatch answers a batch of queries with a worker pool of up to
+// WithWorkers goroutines (default GOMAXPROCS). Results are positional:
+// out[i] is the selectivity of qs[i]. The first context error aborts the
+// remaining work and is returned; already-computed entries stay in the
+// slice.
+func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	out := make([]float64, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	workers := s.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			v, err := s.estimateOne(ctx, q)
+			if err != nil {
+				return out, fmt.Errorf("service: query %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		batchErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) || stop.Load() {
+					return
+				}
+				v, err := s.estimateOne(ctx, qs[i])
+				if err != nil {
+					errMu.Lock()
+					if batchErr == nil {
+						batchErr = fmt.Errorf("service: query %d: %w", i, err)
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	return out, batchErr
+}
+
+// Explain returns up to limit formatted embeddings (query variables →
+// synopsis clusters with per-embedding tuple counts) for one query.
+func (s *Service) Explain(q *query.Query, limit int) []string {
+	ems := s.est.Explain(q, limit)
+	out := make([]string, len(ems))
+	for i, em := range ems {
+		out[i] = s.syn.FormatEmbedding(em)
+	}
+	return out
+}
+
+// observe records one latency sample in the ring buffer.
+func (s *Service) observe(d time.Duration) {
+	s.latMu.Lock()
+	s.lat[s.idx%latWindow] = d
+	s.idx++
+	s.latMu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the service.
+type Stats struct {
+	// Served counts successfully answered queries; Failed counts
+	// queries aborted by cancellation or deadline.
+	Served, Failed uint64
+	// Cache is the shared estimator's result-cache snapshot.
+	Cache core.CacheStats
+	// P50 and P99 are latency percentiles over the last LatencySamples
+	// answered queries.
+	P50, P99 time.Duration
+	// LatencySamples is the number of samples behind P50/P99 (at most
+	// the ring-buffer window).
+	LatencySamples int
+	// Uptime is the time since New.
+	Uptime time.Duration
+}
+
+// Stats snapshots the counters, cache state, and latency percentiles.
+func (s *Service) Stats() Stats {
+	s.latMu.Lock()
+	n := int(s.idx)
+	if n > latWindow {
+		n = latWindow
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, s.lat[:n])
+	s.latMu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	st := Stats{
+		Served:         s.served.Load(),
+		Failed:         s.failed.Load(),
+		Cache:          s.est.CacheStats(),
+		LatencySamples: n,
+		Uptime:         time.Since(s.start),
+	}
+	if n > 0 {
+		st.P50 = samples[n/2]
+		st.P99 = samples[(n*99)/100]
+	}
+	return st
+}

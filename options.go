@@ -1,0 +1,94 @@
+package xcluster
+
+// Option configures Build, BuildReference, BuildContext and AutoBuild.
+// Options compose left to right: later options override earlier ones,
+// and Legacy replaces the whole configuration, so it should come first
+// when mixed with With* options.
+type Option func(*Options)
+
+// Legacy adapts the original Options struct to the functional-options
+// API, so pre-existing call sites keep working:
+//
+//	syn, err := xcluster.Build(tree, xcluster.Legacy(opts))
+func Legacy(opts Options) Option {
+	return func(dst *Options) { *dst = opts }
+}
+
+// WithStructBudget sets the byte budget for the synopsis graph (nodes,
+// edges, edge counts). The coarsest reachable structure is one cluster
+// per (tag, value type).
+func WithStructBudget(n int) Option {
+	return func(o *Options) { o.StructBudget = n }
+}
+
+// WithValueBudget sets the byte budget for value summaries (histograms,
+// pruned suffix trees, end-biased term histograms).
+func WithValueBudget(n int) Option {
+	return func(o *Options) { o.ValueBudget = n }
+}
+
+// WithValuePaths restricts value summarization to the given root label
+// paths (e.g. "/dblp/author/paper/year"). Without it every value-bearing
+// path is summarized.
+func WithValuePaths(paths ...string) Option {
+	return func(o *Options) { o.ValuePaths = paths }
+}
+
+// WithPSTDepth bounds the substring length retained by string summaries
+// (default 4).
+func WithPSTDepth(d int) Option {
+	return func(o *Options) { o.PSTDepth = d }
+}
+
+// WithHistBuckets caps detailed numeric histograms (default: one bucket
+// per distinct value).
+func WithHistBuckets(n int) Option {
+	return func(o *Options) { o.HistBuckets = n }
+}
+
+// WithMaxSummaryBytes caps each detailed reference value summary
+// (default: unbounded).
+func WithMaxSummaryBytes(n int) Option {
+	return func(o *Options) { o.MaxSummaryBytes = n }
+}
+
+// NumericSummary selects the summarization tool for NUMERIC frequency
+// distributions — the three tools the paper cites.
+type NumericSummary int
+
+const (
+	// NumericHistogram is the default: bucketized frequency histograms.
+	NumericHistogram NumericSummary = iota
+	// NumericWavelet uses Haar-wavelet synopses.
+	NumericWavelet
+	// NumericSample uses seeded reservoir samples.
+	NumericSample
+)
+
+// String returns the option-string form of the kind (the value the
+// legacy Options.NumericSummary field takes).
+func (k NumericSummary) String() string {
+	switch k {
+	case NumericHistogram:
+		return "histogram"
+	case NumericWavelet:
+		return "wavelet"
+	case NumericSample:
+		return "sample"
+	}
+	return "unknown"
+}
+
+// WithNumericSummary selects the NUMERIC summarization tool.
+func WithNumericSummary(k NumericSummary) Option {
+	return func(o *Options) { o.NumericSummary = k.String() }
+}
+
+// applyOptions folds a list of options over the zero configuration.
+func applyOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

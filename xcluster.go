@@ -8,13 +8,21 @@
 // Typical use:
 //
 //	tree, _ := xcluster.ParseXML(file)
-//	syn, _  := xcluster.Build(tree, xcluster.Options{
-//	    StructBudget: 10 << 10, // 10 KB of structure
-//	    ValueBudget:  50 << 10, // 50 KB of value summaries
-//	})
+//	syn, _  := xcluster.Build(tree,
+//	    xcluster.WithStructBudget(10<<10), // 10 KB of structure
+//	    xcluster.WithValueBudget(50<<10),  // 50 KB of value summaries
+//	)
 //	est := xcluster.NewEstimator(syn)
 //	q, _ := xcluster.ParseQuery("//paper[year>2000]/title[contains(Tree)]")
 //	fmt.Println(est.Selectivity(q))
+//
+// Pre-existing call sites that configured builds with the Options struct
+// keep working through the Legacy adapter:
+//
+//	syn, _ = xcluster.Build(tree, xcluster.Legacy(opts))
+//
+// The estimator is safe for concurrent use; internal/service wraps it in
+// a batch estimation service and cmd/xclusterd serves it over HTTP.
 //
 // The heavy lifting lives in the internal packages (see DESIGN.md for the
 // full inventory); this package re-exports the surface a downstream user
@@ -23,6 +31,7 @@
 package xcluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -67,7 +76,17 @@ func ParseQuery(s string) (*Query, error) {
 	return query.Parse(s)
 }
 
-// Options configure Build.
+// MustParseQuery is ParseQuery that panics on error, for tests and
+// examples with known-good query literals.
+func MustParseQuery(s string) *Query {
+	return query.MustParse(s)
+}
+
+// Options is the legacy struct configuration of Build. New code should
+// use the functional options (WithStructBudget, WithValueBudget, ...);
+// existing struct-based call sites are adapted with Legacy:
+//
+//	xcluster.Build(tree, xcluster.Legacy(opts))
 type Options struct {
 	// StructBudget is the byte budget for the synopsis graph (nodes,
 	// edges, edge counts). The coarsest reachable structure is one
@@ -105,38 +124,49 @@ func (o Options) numericKind() (vsum.NumericKind, error) {
 	case "sample":
 		return vsum.KindSample, nil
 	default:
-		return 0, fmt.Errorf("xcluster: unknown numeric summary %q (want histogram, wavelet or sample)", o.NumericSummary)
+		return 0, fmt.Errorf("%w: %q (want histogram, wavelet or sample)", ErrUnknownNumericSummary, o.NumericSummary)
 	}
 }
 
 // Build constructs an XCluster synopsis of the document within the given
 // storage budgets: it builds the detailed reference synopsis and runs the
 // two-phase XCLUSTERBUILD compression (structure-value merges, then
-// value-summary compression).
-func Build(t *Tree, opts Options) (*Synopsis, error) {
-	ref, err := BuildReference(t, opts)
+// value-summary compression). A positive structural budget is required
+// (ErrBudgetTooSmall otherwise).
+func Build(t *Tree, opts ...Option) (*Synopsis, error) {
+	return BuildContext(context.Background(), t, opts...)
+}
+
+// BuildContext is Build with cancellation: XCLUSTERBUILD checks ctx at
+// the phase boundaries of its merge loop and during value compression,
+// so huge builds can be aborted.
+func BuildContext(ctx context.Context, t *Tree, opts ...Option) (*Synopsis, error) {
+	cfg := applyOptions(opts)
+	ref, err := BuildReference(t, Legacy(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return Compress(ref, opts.StructBudget, opts.ValueBudget)
+	return compressContext(ctx, ref, cfg.StructBudget, cfg.ValueBudget)
 }
 
 // BuildReference constructs the detailed reference synopsis (a refinement
 // of the lossless count-stable summary with one incoming path per
 // cluster). It is the input to Compress and is useful on its own as an
-// exact structural summary.
-func BuildReference(t *Tree, opts Options) (*Synopsis, error) {
-	kind, err := opts.numericKind()
+// exact structural summary. Budget options are ignored (the reference is
+// uncompressed).
+func BuildReference(t *Tree, opts ...Option) (*Synopsis, error) {
+	cfg := applyOptions(opts)
+	kind, err := cfg.numericKind()
 	if err != nil {
 		return nil, err
 	}
 	return core.BuildReference(t, core.ReferenceOptions{
-		ValuePaths: opts.ValuePaths,
+		ValuePaths: cfg.ValuePaths,
 		Detail: vsum.BuildOptions{
 			Numeric:         kind,
-			PSTDepth:        opts.PSTDepth,
-			HistBuckets:     opts.HistBuckets,
-			MaxSummaryBytes: opts.MaxSummaryBytes,
+			PSTDepth:        cfg.PSTDepth,
+			HistBuckets:     cfg.HistBuckets,
+			MaxSummaryBytes: cfg.MaxSummaryBytes,
 		},
 	})
 }
@@ -144,13 +174,31 @@ func BuildReference(t *Tree, opts Options) (*Synopsis, error) {
 // Compress runs XCLUSTERBUILD on a reference synopsis, producing a new
 // synopsis within the two byte budgets. The input is not modified.
 func Compress(ref *Synopsis, structBudget, valueBudget int) (*Synopsis, error) {
-	return core.XClusterBuild(ref, core.BuildOptions{
+	return compressContext(context.Background(), ref, structBudget, valueBudget)
+}
+
+func compressContext(ctx context.Context, ref *Synopsis, structBudget, valueBudget int) (*Synopsis, error) {
+	if structBudget <= 0 {
+		return nil, fmt.Errorf("%w: structural budget %d must be positive", ErrBudgetTooSmall, structBudget)
+	}
+	if valueBudget < 0 {
+		return nil, fmt.Errorf("%w: value budget %d must be non-negative", ErrBudgetTooSmall, valueBudget)
+	}
+	return core.XClusterBuildContext(ctx, ref, core.BuildOptions{
 		StructBudget: structBudget,
 		ValueBudget:  valueBudget,
 	})
 }
 
-// NewEstimator returns a selectivity estimator over the synopsis.
+// CacheStats is a snapshot of an Estimator's query-result cache
+// (hit/miss counters and occupancy).
+type CacheStats = core.CacheStats
+
+// NewEstimator returns a selectivity estimator over the synopsis. The
+// estimator is safe for concurrent use: descendant-closure vectors are
+// precomputed here, per-call state is pooled, and repeated queries are
+// answered from an internal LRU cache (see Estimator.CacheStats;
+// Estimator.SetCacheCapacity resizes or disables it).
 func NewEstimator(s *Synopsis) *Estimator {
 	return core.NewEstimator(s)
 }
@@ -161,11 +209,14 @@ func NewEstimator(s *Synopsis) *Estimator {
 // given sample workload (the extension Section 4.3 of the paper sketches
 // as future work). It returns the synopsis and the structural budget the
 // search selected.
-func AutoBuild(t *Tree, totalBudget int, sample []*Query, opts Options) (*Synopsis, int, error) {
+func AutoBuild(t *Tree, totalBudget int, sample []*Query, opts ...Option) (*Synopsis, int, error) {
 	if len(sample) == 0 {
 		return nil, 0, fmt.Errorf("xcluster: AutoBuild needs a sample workload")
 	}
-	ref, err := BuildReference(t, opts)
+	if totalBudget <= 0 {
+		return nil, 0, fmt.Errorf("%w: total budget %d must be positive", ErrBudgetTooSmall, totalBudget)
+	}
+	ref, err := BuildReference(t, opts...)
 	if err != nil {
 		return nil, 0, err
 	}

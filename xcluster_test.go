@@ -2,6 +2,8 @@ package xcluster_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -31,7 +33,7 @@ func parseLibrary(t *testing.T) *xcluster.Tree {
 
 func TestPublicBuildAndEstimate(t *testing.T) {
 	tree := parseLibrary(t)
-	syn, err := xcluster.Build(tree, xcluster.Options{StructBudget: 1024, ValueBudget: 1024})
+	syn, err := xcluster.Build(tree, xcluster.WithStructBudget(1024), xcluster.WithValueBudget(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestPublicBuildAndEstimate(t *testing.T) {
 
 func TestPublicSerializationRoundTrip(t *testing.T) {
 	tree := parseLibrary(t)
-	syn, err := xcluster.Build(tree, xcluster.Options{StructBudget: 4096, ValueBudget: 4096})
+	syn, err := xcluster.Build(tree, xcluster.WithStructBudget(4096), xcluster.WithValueBudget(4096))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,15 +83,47 @@ func TestPublicSerializationRoundTrip(t *testing.T) {
 
 func TestPublicNumericSummaryOption(t *testing.T) {
 	tree := parseLibrary(t)
+	// Legacy struct form, through the adapter.
 	for _, kind := range []string{"", "histogram", "wavelet", "sample"} {
-		if _, err := xcluster.Build(tree, xcluster.Options{
+		if _, err := xcluster.Build(tree, xcluster.Legacy(xcluster.Options{
 			StructBudget: 1024, ValueBudget: 1024, NumericSummary: kind,
-		}); err != nil {
+		})); err != nil {
 			t.Fatalf("kind %q: %v", kind, err)
 		}
 	}
-	if _, err := xcluster.Build(tree, xcluster.Options{NumericSummary: "tarot"}); err == nil {
+	// Typed functional form.
+	for _, kind := range []xcluster.NumericSummary{
+		xcluster.NumericHistogram, xcluster.NumericWavelet, xcluster.NumericSample,
+	} {
+		if _, err := xcluster.Build(tree,
+			xcluster.WithStructBudget(1024),
+			xcluster.WithValueBudget(1024),
+			xcluster.WithNumericSummary(kind),
+		); err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+	}
+	_, err := xcluster.Build(tree, xcluster.Legacy(xcluster.Options{NumericSummary: "tarot"}))
+	if err == nil {
 		t.Fatal("accepted unknown numeric summary kind")
+	}
+	if !errors.Is(err, xcluster.ErrUnknownNumericSummary) {
+		t.Fatalf("error %v is not ErrUnknownNumericSummary", err)
+	}
+}
+
+func TestPublicBudgetErrors(t *testing.T) {
+	tree := parseLibrary(t)
+	_, err := xcluster.Build(tree, xcluster.WithValueBudget(1024))
+	if !errors.Is(err, xcluster.ErrBudgetTooSmall) {
+		t.Fatalf("missing structural budget: %v, want ErrBudgetTooSmall", err)
+	}
+	_, err = xcluster.Build(tree, xcluster.WithStructBudget(1024), xcluster.WithValueBudget(-1))
+	if !errors.Is(err, xcluster.ErrBudgetTooSmall) {
+		t.Fatalf("negative value budget: %v, want ErrBudgetTooSmall", err)
+	}
+	if _, _, err := xcluster.AutoBuild(tree, 0, []*xcluster.Query{xcluster.MustParseQuery("//book")}); !errors.Is(err, xcluster.ErrBudgetTooSmall) {
+		t.Fatalf("zero total budget: %v, want ErrBudgetTooSmall", err)
 	}
 }
 
@@ -104,7 +138,7 @@ func TestPublicAutoBuild(t *testing.T) {
 		sample = append(sample, q)
 	}
 	total := 2048
-	syn, bstr, err := xcluster.AutoBuild(tree, total, sample, xcluster.Options{})
+	syn, bstr, err := xcluster.AutoBuild(tree, total, sample)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +151,7 @@ func TestPublicAutoBuild(t *testing.T) {
 		t.Fatalf("synopsis %d bytes blows the %d budget", syn.TotalBytes(), total)
 	}
 	// And without a sample the call fails cleanly.
-	if _, _, err := xcluster.AutoBuild(tree, total, nil, xcluster.Options{}); err == nil {
+	if _, _, err := xcluster.AutoBuild(tree, total, nil); err == nil {
 		t.Fatal("AutoBuild accepted an empty sample")
 	}
 }
@@ -128,6 +162,36 @@ func TestPublicParseErrors(t *testing.T) {
 	}
 	if _, err := xcluster.ParseQuery("not a query"); err == nil {
 		t.Fatal("accepted malformed query")
+	}
+	// Parse failures carry the byte offset of the failure.
+	_, err := xcluster.ParseQuery("//book[year>")
+	var perr *xcluster.QueryParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not *QueryParseError", err)
+	}
+	if perr.Offset != len("//book[year>") {
+		t.Fatalf("offset = %d, want %d", perr.Offset, len("//book[year>"))
+	}
+	if perr.Input != "//book[year>" {
+		t.Fatalf("input = %q", perr.Input)
+	}
+}
+
+func TestPublicBuildContextCancellation(t *testing.T) {
+	tree := parseLibrary(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := xcluster.BuildContext(ctx, tree,
+		xcluster.WithStructBudget(64), // forces a merge phase, which polls ctx
+		xcluster.WithValueBudget(64),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build: %v, want context.Canceled", err)
+	}
+	// An undisturbed context builds fine.
+	if _, err := xcluster.BuildContext(context.Background(), tree,
+		xcluster.WithStructBudget(1024), xcluster.WithValueBudget(1024)); err != nil {
+		t.Fatal(err)
 	}
 }
 
