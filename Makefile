@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check build test bench
 
-# The check gate: vet, build, full suite under the race detector.
+# The check gate: gofmt, vet, build, full suite under the race detector.
 check:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
@@ -14,6 +15,6 @@ build:
 test:
 	$(GO) test ./...
 
-# Estimation micro-benchmarks (cold vs cache-hit vs parallel).
+# Estimation micro-benchmarks (cold vs prepared vs cache-hit vs parallel).
 bench:
-	$(GO) test -run xxx -bench 'Estimate(|Cold|CacheHit|Parallel)$$' -benchmem .
+	$(GO) test -run xxx -bench 'Estimate(|Cold|CacheHit|Parallel)$$|Prepared$$' -benchmem .

@@ -310,16 +310,41 @@ func BenchmarkEstimate(b *testing.B) {
 	}
 }
 
-// BenchmarkEstimateCold measures estimation with the result cache
-// disabled: the full embedding-enumeration cost of every query.
+// BenchmarkEstimateCold measures estimation with both caches disabled:
+// every call pays the full compile + execute cost, the baseline the
+// prepared path is measured against.
 func BenchmarkEstimateCold(b *testing.B) {
 	s, d := benchSynopsis(b)
 	est := core.NewEstimator(s)
 	est.SetCacheCapacity(0)
+	est.SetPlanCacheCapacity(0)
 	qs := d.Workload.Queries
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est.Selectivity(qs[i%len(qs)].Q)
+	}
+}
+
+// BenchmarkPrepared measures executing already-compiled plans: the
+// workload is Prepared once outside the timer, so each operation is the
+// pure execute stage of the canonicalize → compile → execute pipeline.
+// Compare ns/op with BenchmarkEstimateCold for the compilation ratio.
+func BenchmarkPrepared(b *testing.B) {
+	s, d := benchSynopsis(b)
+	est := core.NewEstimator(s)
+	est.SetCacheCapacity(0)
+	qs := d.Workload.Queries
+	prepared := make([]*core.PreparedQuery, len(qs))
+	for i := range qs {
+		pq, err := est.Prepare(qs[i].Q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepared[i] = pq
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prepared[i%len(prepared)].Selectivity()
 	}
 }
 
@@ -344,6 +369,7 @@ func BenchmarkEstimateParallel(b *testing.B) {
 	s, d := benchSynopsis(b)
 	est := core.NewEstimator(s)
 	est.SetCacheCapacity(0)
+	est.SetPlanCacheCapacity(0)
 	qs := d.Workload.Queries
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {

@@ -1,10 +1,16 @@
 #!/bin/sh
-# The repository's check gate: vet, build everything, and run the full
-# test suite under the race detector (the concurrency tests in
+# The repository's check gate: gofmt, vet, build everything, and run the
+# full test suite under the race detector (the concurrency tests in
 # concurrency_test.go and internal/service depend on -race to mean
 # anything). Same commands as `make check`.
 set -eux
 
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+    echo "gofmt needed:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...

@@ -9,6 +9,7 @@
 //	xclusterbench -table 1              # Table 1 only
 //	xclusterbench -figure 8a            # Figure 8(a) only
 //	xclusterbench -experiment negative  # negative-workload check
+//	xclusterbench -experiment prepared  # compile-once speedup (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -33,7 +34,7 @@ func main() {
 	points := flag.Int("points", 6, "structural budget points in the Figure 8 sweep")
 	table := flag.String("table", "", "run one table: 1 or 2")
 	figure := flag.String("figure", "", "run one figure: 8a, 8b or 9")
-	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget or throughput")
+	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget, throughput or prepared")
 	workers := flag.Int("workers", 0, "goroutines for -experiment throughput (default GOMAXPROCS)")
 	csvOut := flag.Bool("csv", false, "emit Figure 8 rows as CSV (for plotting)")
 	flag.Parse()
@@ -139,6 +140,16 @@ func main() {
 			rows = append(rows, r...)
 		}
 		fmt.Println(harness.FormatThroughput(rows))
+	}
+	if *experiment == "prepared" { // opt-in: wall-clock sensitive
+		var rows []harness.PreparedRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.PreparedExperiment(load(name), cfg, 0)
+			check(err)
+			rows = append(rows, r)
+		}
+		fmt.Fprintln(os.Stderr, harness.FormatPrepared(rows))
+		fmt.Println(harness.FormatPreparedJSON(rows))
 	}
 	if *experiment == "autobudget" { // opt-in: several extra builds per dataset
 		var rows []harness.AutoBudgetRow

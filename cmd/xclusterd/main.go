@@ -9,8 +9,14 @@
 //	xclusterd -syn syn.bin -addr :8080
 //
 //	curl -s localhost:8080/estimate -d '{"queries":["//paper[year>2000]/title"]}'
-//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/estimate -d '{"queries":["//paper/title"],"plan":true}'
+//	curl -s localhost:8080/stats    # includes plan-cache hit rates
 //	curl -s localhost:8080/synopsis
+//
+// Estimation compiles each distinct query shape once (the prepared
+// plan is cached in an LRU sized by -plancache) and executes the
+// compiled plan per request; /stats reports both the result-cache and
+// plan-cache hit rates.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -drain.
@@ -39,6 +45,7 @@ func main() {
 		workers = flag.Int("workers", 0, "batch worker goroutines (default GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
 		cache   = flag.Int("cache", 0, "query-result cache capacity (default 1024, negative disables)")
+		planCap = flag.Int("plancache", 0, "compiled-plan cache capacity (default 256, negative disables)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
@@ -63,6 +70,9 @@ func main() {
 	}
 	if *cache != 0 {
 		opts = append(opts, service.WithCacheCapacity(*cache))
+	}
+	if *planCap != 0 {
+		opts = append(opts, service.WithPlanCacheCapacity(*planCap))
 	}
 	svc := service.New(syn, opts...)
 	log.Printf("xclusterd: serving %s on %s", xcluster.SynopsisStats(syn), *addr)

@@ -6,12 +6,13 @@ import (
 	"sync/atomic"
 )
 
-// CacheStats is a snapshot of the estimator's query-result cache.
+// CacheStats is a snapshot of one of the estimator's LRU caches (query
+// results or compiled plans).
 type CacheStats struct {
 	// Hits and Misses count cache lookups since construction (or the
-	// last SetCacheCapacity).
+	// last capacity change).
 	Hits, Misses uint64
-	// Len is the current number of cached queries; Capacity the maximum.
+	// Len is the current number of cached entries; Capacity the maximum.
 	Len, Capacity int
 }
 
@@ -24,12 +25,13 @@ func (c CacheStats) HitRate() float64 {
 	return float64(c.Hits) / float64(total)
 }
 
-// queryCache is a mutex-guarded LRU of canonical query string → computed
-// selectivity. Entries are immutable once inserted (estimates over an
+// lruCache is a mutex-guarded LRU of canonical query string → V, shared
+// by the result cache (V = float64) and the plan cache (V = *Plan).
+// Entries are immutable once inserted (estimates and plans over an
 // immutable synopsis never change), so a hit can be returned without
 // copying. Hit/miss counters are atomics so they never contend with the
 // list manipulation.
-type queryCache struct {
+type lruCache[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
@@ -39,13 +41,13 @@ type queryCache struct {
 }
 
 // cacheEntry is one LRU element.
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key string
-	val float64
+	val V
 }
 
-func newQueryCache(capacity int) *queryCache {
-	return &queryCache{
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
@@ -53,16 +55,17 @@ func newQueryCache(capacity int) *queryCache {
 }
 
 // get returns the cached value for key and whether it was present.
-func (c *queryCache) get(key string) (float64, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
-		return 0, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	v := el.Value.(*cacheEntry).val
+	v := el.Value.(*cacheEntry[V]).val
 	c.mu.Unlock()
 	c.hits.Add(1)
 	return v, true
@@ -70,26 +73,26 @@ func (c *queryCache) get(key string) (float64, bool) {
 
 // put inserts key → val, evicting the least recently used entry when the
 // cache is full. Concurrent puts of the same key are idempotent (both
-// goroutines computed the same deterministic estimate).
-func (c *queryCache) put(key string, val float64) {
+// goroutines computed the same deterministic value).
+func (c *lruCache[V]) put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
+		el.Value.(*cacheEntry[V]).val = val
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+	el := c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
 	c.items[key] = el
 	if c.ll.Len() > c.capacity {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+		delete(c.items, last.Value.(*cacheEntry[V]).key)
 	}
 }
 
 // stats snapshots the counters and occupancy.
-func (c *queryCache) stats() CacheStats {
+func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()
 	n := c.ll.Len()
 	c.mu.Unlock()

@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"xcluster/internal/query"
-	"xcluster/internal/xmltree"
 )
 
 // Estimator approximates twig-query selectivities over an XCluster
@@ -17,12 +16,23 @@ import (
 // predicate selectivities under the generalized Path-Value Independence
 // assumption — the selectivity of a path u[p]/c is |u|·σ_p(u)·count(u,c).
 //
+// Estimation is a three-stage pipeline: canonicalize (the query's
+// canonical string is the identity under which results and plans are
+// cached), compile (the query is lowered onto the synopsis once — see
+// compile.go), and execute (the flat compiled plan is evaluated — see
+// plan.go). Selectivity runs all three stages behind two LRU caches: a
+// result cache keyed by canonical query, and a plan cache that makes
+// repeated shapes compile-once/execute-many. Prepare exposes the
+// compiled plan directly for callers that hold a query shape and
+// execute it repeatedly.
+//
 // An Estimator is safe for concurrent use by multiple goroutines: the
 // synopsis is immutable after Build, the descendant-closure vectors are
-// precomputed at construction, per-call memo tables come from a
-// sync.Pool, and the query-result cache is internally synchronized. The
-// one exception is configuration (UninformedSel, SetCacheCapacity),
-// which must happen before the estimator is shared.
+// precomputed at construction, per-call state is pooled, and both
+// caches are internally synchronized. The one exception is
+// configuration (UninformedSel, SetCacheCapacity,
+// SetPlanCacheCapacity), which must happen before the estimator is
+// shared: compiled plans bind UninformedSel at compile time.
 type Estimator struct {
 	s *Synopsis
 	// UninformedSel is the selectivity assumed for a value predicate on
@@ -41,12 +51,17 @@ type Estimator struct {
 	// proper-descendant elements per cluster, per element of the node,
 	// id-sorted. Precomputed for every node at construction; immutable.
 	desc map[NodeID][]weight
-	// memos pools the per-call memo tables so concurrent Selectivity
-	// calls allocate nothing on the steady state.
+	// memos pools the per-call memo tables of the interpreted reference
+	// walk (interpretedSelectivity), kept as the differential baseline
+	// the compiled plans are tested against.
 	memos sync.Pool
 	// cache memoizes full query results by canonical query string; nil
 	// when disabled.
-	cache *queryCache
+	cache *lruCache[float64]
+	// plans memoizes compiled plans by canonical query string, so
+	// repeated query shapes compile once and execute many times; nil
+	// when disabled.
+	plans *lruCache[*Plan]
 }
 
 // weight is one (node, expected count) pair of a sparse vector.
@@ -59,6 +74,12 @@ type weight struct {
 // cache retains unless SetCacheCapacity overrides it.
 const DefaultCacheCapacity = 1024
 
+// DefaultPlanCacheCapacity is the number of compiled plans the plan
+// cache retains unless SetPlanCacheCapacity overrides it. Plans are
+// larger than cached results (a few hundred bytes to a few KB per query
+// shape), so the default is smaller than the result cache's.
+const DefaultPlanCacheCapacity = 256
+
 // NewEstimator returns an estimator over the synopsis, ready to be
 // shared across goroutines. Construction precomputes the
 // descendant-closure vectors of every node (the work Selectivity
@@ -68,7 +89,8 @@ func NewEstimator(s *Synopsis) *Estimator {
 	e := &Estimator{
 		s:     s,
 		kids:  buildKidIndex(s),
-		cache: newQueryCache(DefaultCacheCapacity),
+		cache: newLRUCache[float64](DefaultCacheCapacity),
+		plans: newLRUCache[*Plan](DefaultPlanCacheCapacity),
 	}
 	e.desc = buildDescIndex(s)
 	e.memos.New = func() any { return make(map[memoKey]float64) }
@@ -83,7 +105,19 @@ func (e *Estimator) SetCacheCapacity(n int) {
 		e.cache = nil
 		return
 	}
-	e.cache = newQueryCache(n)
+	e.cache = newLRUCache[float64](n)
+}
+
+// SetPlanCacheCapacity resizes the compiled-plan cache to hold n plans
+// (n <= 0 disables plan caching: every uncached Selectivity call then
+// recompiles). Counters reset. Call before sharing the estimator across
+// goroutines.
+func (e *Estimator) SetPlanCacheCapacity(n int) {
+	if n <= 0 {
+		e.plans = nil
+		return
+	}
+	e.plans = newLRUCache[*Plan](n)
 }
 
 // CacheStats returns the result cache's hit/miss counters and occupancy
@@ -93,6 +127,16 @@ func (e *Estimator) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cache.stats()
+}
+
+// PlanCacheStats returns the plan cache's hit/miss counters and
+// occupancy (zero-valued when the cache is disabled). Every miss is one
+// query compilation, so Misses counts how many plans were built.
+func (e *Estimator) PlanCacheStats() CacheStats {
+	if e.plans == nil {
+		return CacheStats{}
+	}
+	return e.plans.stats()
 }
 
 // buildKidIndex converts each node's child map into an id-sorted slice.
@@ -112,18 +156,22 @@ func buildKidIndex(s *Synopsis) map[NodeID][]weight {
 	return kids
 }
 
-// Selectivity estimates s(Q), the expected number of binding tuples.
+// Selectivity estimates s(Q), the expected number of binding tuples. It
+// is the canonicalize → compile → execute pipeline behind both caches:
+// a result-cache hit returns immediately, a plan-cache hit skips
+// compilation, and a full miss compiles the query and executes the
+// fresh plan.
 func (e *Estimator) Selectivity(q *query.Query) float64 {
 	if e.cache != nil {
 		key := e.cacheKey(q)
 		if v, ok := e.cache.get(key); ok {
 			return v
 		}
-		v := e.selectivity(q)
+		v := e.mustPlan(q).execute()
 		e.cache.put(key, v)
 		return v
 	}
-	return e.selectivity(q)
+	return e.mustPlan(q).execute()
 }
 
 // SelectivityContext is Selectivity with cancellation: it checks ctx
@@ -137,17 +185,13 @@ func (e *Estimator) SelectivityContext(ctx context.Context, q *query.Query) (flo
 			return v, nil
 		}
 	}
-	memo := e.memos.Get().(map[memoKey]float64)
-	defer func() {
-		clear(memo)
-		e.memos.Put(memo)
-	}()
-	total := 1.0
-	for _, r := range q.Roots {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		total *= e.estimate(r, -1, memo)
+	plan, err := e.planFor(q)
+	if err != nil {
+		return 0, err
+	}
+	total, err := plan.executeContext(ctx)
+	if err != nil {
+		return 0, err
 	}
 	if e.cache != nil {
 		e.cache.put(key, total)
@@ -156,7 +200,8 @@ func (e *Estimator) SelectivityContext(ctx context.Context, q *query.Query) (flo
 }
 
 // cacheKey is the canonical cache key of a query: its canonical string,
-// salted with UninformedSel when nonzero (the estimate depends on it).
+// salted with UninformedSel when nonzero (both the estimate and the
+// compiled plan depend on it).
 func (e *Estimator) cacheKey(q *query.Query) string {
 	if e.UninformedSel == 0 {
 		return q.String()
@@ -164,8 +209,43 @@ func (e *Estimator) cacheKey(q *query.Query) string {
 	return strconv.FormatFloat(e.UninformedSel, 'g', -1, 64) + "|" + q.String()
 }
 
-// selectivity runs the memoized embedding estimate, bypassing the cache.
-func (e *Estimator) selectivity(q *query.Query) float64 {
+// planFor returns the compiled plan of q, consulting the plan cache
+// when enabled. Concurrent misses on the same shape may compile twice;
+// both plans are identical and either lands in the cache.
+func (e *Estimator) planFor(q *query.Query) (*Plan, error) {
+	if e.plans == nil {
+		return e.compile(q)
+	}
+	key := e.cacheKey(q)
+	if p, ok := e.plans.get(key); ok {
+		return p, nil
+	}
+	p, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(key, p)
+	return p, nil
+}
+
+// mustPlan is planFor for the error-free Selectivity signature.
+// Compilation only fails on structurally invalid hand-built queries (a
+// variable with no steps), which the previous interpreter answered with
+// an index panic; the panic is kept, now carrying a message.
+func (e *Estimator) mustPlan(q *query.Query) *Plan {
+	p, err := e.planFor(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// interpretedSelectivity runs the original memoized interpreter over
+// the query — re-resolving every step label and predicate against the
+// synopsis as it walks. It is retained as the reference semantics of
+// the estimation framework: differential tests pin the compiled plans
+// to it bit-for-bit.
+func (e *Estimator) interpretedSelectivity(q *query.Query) float64 {
 	memo := e.memos.Get().(map[memoKey]float64)
 	total := 1.0
 	for _, r := range q.Roots {
@@ -221,16 +301,8 @@ func (e *Estimator) predSel(n *Node, p query.Pred) float64 {
 	if p == nil {
 		return 1
 	}
-	var want xmltree.ValueType
-	switch p.Kind() {
-	case query.KindRange:
-		want = xmltree.TypeNumeric
-	case query.KindContains:
-		want = xmltree.TypeString
-	case query.KindFTContains:
-		want = xmltree.TypeText
-	}
-	if n.VType != want {
+	want, known := p.Kind().ValueType()
+	if !known || n.VType != want {
 		return 0
 	}
 	if n.VSum == nil {
@@ -246,6 +318,20 @@ func (e *Estimator) predSel(n *Node, p query.Pred) float64 {
 // accumulation iterates id-sorted inputs, so the floating-point sums are
 // order-deterministic.
 func (e *Estimator) reach(from NodeID, steps []query.Step) []weight {
+	// Fast path for the common A/B edge shape: a single child step from
+	// a real node selects a subsequence of the id-sorted kids slice, so
+	// the frontier can be built directly — no map, no re-sort. Weights
+	// are identical to the slow path's 1·count products.
+	if from != -1 && len(steps) == 1 && steps[0].Axis == query.Child {
+		st := steps[0]
+		var out []weight
+		for _, c := range e.kids[from] {
+			if st.Matches(e.s.nodes[c.id].Label) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
 	acc := make(map[NodeID]float64)
 	rest := steps
 	if from == -1 {

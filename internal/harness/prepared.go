@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+)
+
+// PreparedRow is one dataset of the prepared-execution experiment: the
+// per-query cost of the cold path (compile + execute every call) versus
+// executing plans compiled once, over the same positive workload.
+type PreparedRow struct {
+	Dataset string `json:"dataset"`
+	// Queries is the workload size; Plans the number of distinct shapes
+	// compiled (the plan cache holds one entry per shape).
+	Queries int `json:"queries"`
+	Plans   int `json:"plans"`
+	// CompileMicros is the total one-time compilation cost of the
+	// workload, amortized away by plan reuse.
+	CompileMicros float64 `json:"compile_micros"`
+	// ColdNsPerOp and PreparedNsPerOp are per-estimate wall costs with
+	// both caches off versus pre-compiled plans.
+	ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+	PreparedNsPerOp float64 `json:"prepared_ns_per_op"`
+	// Speedup is ColdNsPerOp / PreparedNsPerOp.
+	Speedup float64 `json:"speedup"`
+	// Mismatches counts prepared results that differed bit-for-bit from
+	// the cold path (must be 0; reported so the JSON is self-checking).
+	Mismatches int `json:"mismatches"`
+}
+
+// PreparedExperiment measures the compile-once/execute-many win of the
+// canonicalize → compile → execute pipeline on one dataset: it times the
+// cold path (plan and result caches disabled, so every call recompiles)
+// against executing plans prepared once, and cross-checks every result
+// bit-for-bit. iters is the total number of estimates per configuration
+// (0 means 2000).
+func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	syn, err := cfg.BuildAt(d, d.Ref.StructBytes()/20)
+	if err != nil {
+		return PreparedRow{}, err
+	}
+	qs := make([]*query.Query, 0, len(d.Workload.Queries))
+	for i := range d.Workload.Queries {
+		qs = append(qs, d.Workload.Queries[i].Q)
+	}
+	if len(qs) == 0 {
+		return PreparedRow{}, fmt.Errorf("harness: dataset %s has an empty workload", d.Name)
+	}
+
+	// Cold: both caches off, so each call is canonicalize + compile +
+	// execute from scratch.
+	cold := core.NewEstimator(syn)
+	cold.SetCacheCapacity(0)
+	cold.SetPlanCacheCapacity(0)
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		want[i] = cold.Selectivity(q) // warm-up pass doubles as ground truth
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		cold.Selectivity(qs[i%len(qs)])
+	}
+	coldElapsed := time.Since(t0)
+
+	// Prepared: compile each shape once, then execute only.
+	est := core.NewEstimator(syn)
+	est.SetCacheCapacity(0)
+	t0 = time.Now()
+	prepared := make([]*core.PreparedQuery, len(qs))
+	for i, q := range qs {
+		if prepared[i], err = est.Prepare(q); err != nil {
+			return PreparedRow{}, fmt.Errorf("harness: prepare %s: %w", q, err)
+		}
+	}
+	compileElapsed := time.Since(t0)
+	mismatches := 0
+	for i := range qs {
+		if prepared[i].Selectivity() != want[i] {
+			mismatches++
+		}
+	}
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		prepared[i%len(prepared)].Selectivity()
+	}
+	prepElapsed := time.Since(t0)
+
+	row := PreparedRow{
+		Dataset:         d.Name,
+		Queries:         len(qs),
+		Plans:           est.PlanCacheStats().Len,
+		CompileMicros:   float64(compileElapsed.Microseconds()),
+		ColdNsPerOp:     float64(coldElapsed.Nanoseconds()) / float64(iters),
+		PreparedNsPerOp: float64(prepElapsed.Nanoseconds()) / float64(iters),
+		Mismatches:      mismatches,
+	}
+	if row.PreparedNsPerOp > 0 {
+		row.Speedup = row.ColdNsPerOp / row.PreparedNsPerOp
+	}
+	return row, nil
+}
+
+// FormatPreparedJSON renders the experiment rows as indented JSON (the
+// machine-readable output of `xclusterbench -experiment prepared`).
+func FormatPreparedJSON(rows []PreparedRow) string {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err)
+	}
+	return string(b)
+}
+
+// FormatPrepared renders the experiment rows as aligned text.
+func FormatPrepared(rows []PreparedRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Prepared Execution (compile once, execute many)\n")
+	fmt.Fprintf(&sb, "%-8s %8s %7s %12s %12s %14s %8s\n",
+		"", "Queries", "Plans", "Compile(µs)", "Cold ns/op", "Prepared ns/op", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %8d %7d %12.0f %12.0f %14.0f %7.1fx\n",
+			r.Dataset, r.Queries, r.Plans, r.CompileMicros, r.ColdNsPerOp, r.PreparedNsPerOp, r.Speedup)
+	}
+	return sb.String()
+}

@@ -16,6 +16,7 @@ func FuzzParse(f *testing.F) {
 		"/site/regions/region/item[quantity>5]/name",
 		"//*[.//profile/age>=30]/name",
 		"//a[ftsim(2,x,y,z)]",
+		"//paper[abstract ftsim(1,xml)]/title",
 		"//y[range(3,7)]",
 		"//a[contains(()]",
 		"[[[",

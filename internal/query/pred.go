@@ -18,6 +18,13 @@ const (
 	KindContains
 	// KindFTContains is a TEXT keyword predicate ftcontains(t1..tk).
 	KindFTContains
+	// KindFTSim is a TEXT similarity predicate ftsim(min, t1..tk): at
+	// least min of the listed terms must be present.
+	KindFTSim
+
+	// numPredKinds is the sentinel one past the last kind; it keeps the
+	// exhaustiveness test honest when a kind is added.
+	numPredKinds
 )
 
 func (k PredKind) String() string {
@@ -28,8 +35,28 @@ func (k PredKind) String() string {
 		return "string"
 	case KindFTContains:
 		return "text"
+	case KindFTSim:
+		return "text-sim"
 	default:
 		return fmt.Sprintf("PredKind(%d)", uint8(k))
+	}
+}
+
+// ValueType returns the element value type a predicate kind applies to
+// and whether the kind is known. Estimation uses it to reject clusters
+// whose value type cannot satisfy the predicate; keeping the mapping
+// here (next to the kind list) means a new kind cannot silently fall
+// through a copy of this switch elsewhere.
+func (k PredKind) ValueType() (xmltree.ValueType, bool) {
+	switch k {
+	case KindRange:
+		return xmltree.TypeNumeric, true
+	case KindContains:
+		return xmltree.TypeString, true
+	case KindFTContains, KindFTSim:
+		return xmltree.TypeText, true
+	default:
+		return 0, false
 	}
 }
 
@@ -108,8 +135,8 @@ type FTSim struct {
 	Min   int
 }
 
-// Kind implements Pred. FTSim shares the TEXT predicate class.
-func (FTSim) Kind() PredKind { return KindFTContains }
+// Kind implements Pred.
+func (FTSim) Kind() PredKind { return KindFTSim }
 
 // Match implements Pred.
 func (p FTSim) Match(t *xmltree.Tree, n *xmltree.Node) bool {

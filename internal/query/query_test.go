@@ -1,6 +1,7 @@
 package query
 
 import (
+	"strings"
 	"testing"
 
 	"xcluster/internal/xmltree"
@@ -431,11 +432,77 @@ func TestPredKindString(t *testing.T) {
 		KindRange:      "numeric",
 		KindContains:   "string",
 		KindFTContains: "text",
+		KindFTSim:      "text-sim",
 		PredKind(9):    "PredKind(9)",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
 		}
+	}
+}
+
+// allPreds lists one value of every Pred implementation in this package.
+// Adding a Pred type without extending this list fails
+// TestPredKindExhaustive's count check.
+var allPreds = []Pred{
+	Range{Lo: 1, Hi: 2},
+	Contains{Substr: "x"},
+	FTContains{Terms: []string{"x"}},
+	FTSim{Terms: []string{"x", "y"}, Min: 1},
+}
+
+// TestPredKindExhaustive pins the kind system closed: every declared
+// kind has a value type and a real String name, every Pred
+// implementation maps to a distinct declared kind, and the
+// implementation count matches the kind count — so a future kind or
+// predicate type cannot silently fall through ValueType (and with it
+// the estimator's type check).
+func TestPredKindExhaustive(t *testing.T) {
+	if got, want := len(allPreds), int(numPredKinds); got != want {
+		t.Fatalf("%d Pred implementations registered for %d kinds", got, want)
+	}
+	seen := make(map[PredKind]Pred)
+	for _, p := range allPreds {
+		k := p.Kind()
+		if k >= numPredKinds {
+			t.Errorf("%T.Kind() = %v, outside the declared kinds", p, k)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%T and %T share kind %v", prev, p, k)
+		}
+		seen[k] = p
+	}
+	for k := PredKind(0); k < numPredKinds; k++ {
+		if _, ok := k.ValueType(); !ok {
+			t.Errorf("kind %v has no value type", k)
+		}
+		if got := k.String(); strings.HasPrefix(got, "PredKind(") {
+			t.Errorf("kind %v has no String name", k)
+		}
+	}
+	if _, ok := numPredKinds.ValueType(); ok {
+		t.Error("sentinel kind reports a value type")
+	}
+}
+
+// TestFTSimRoundTrip pins the parse → String → parse invariant for the
+// ftsim predicate syntax, including its distinct kind.
+func TestFTSimRoundTrip(t *testing.T) {
+	const in = "//paper[abstract ftsim(2,xml,synopsis,tree)]/title"
+	q := MustParse(in)
+	if !q.PredTypes()[KindFTSim] {
+		t.Fatalf("PredTypes(%q) = %v, want KindFTSim", in, q.PredTypes())
+	}
+	rendered := q.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", rendered, err)
+	}
+	if rendered != q2.String() {
+		t.Fatalf("round trip not stable: %q vs %q", rendered, q2.String())
+	}
+	if !q2.PredTypes()[KindFTSim] {
+		t.Fatalf("round trip lost KindFTSim: %v", q2.PredTypes())
 	}
 }

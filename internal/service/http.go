@@ -19,6 +19,9 @@ type EstimateRequest struct {
 	Queries []string `json:"queries"`
 	// Explain asks for the top synopsis embeddings of each query.
 	Explain bool `json:"explain,omitempty"`
+	// Plan asks for each query's compiled plan (the canonicalize →
+	// compile → execute pipeline's executable form, rendered).
+	Plan bool `json:"plan,omitempty"`
 }
 
 // EstimateResult is one entry of an EstimateResponse, positional with the
@@ -30,6 +33,7 @@ type EstimateResult struct {
 	Error       string   `json:"error,omitempty"`
 	Offset      *int     `json:"offset,omitempty"`
 	Explain     []string `json:"explain,omitempty"`
+	Plan        string   `json:"plan,omitempty"`
 }
 
 // EstimateResponse is the body of a successful POST /estimate.
@@ -39,17 +43,22 @@ type EstimateResponse struct {
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	Served         uint64  `json:"served"`
-	Failed         uint64  `json:"failed"`
-	CacheHits      uint64  `json:"cache_hits"`
-	CacheMisses    uint64  `json:"cache_misses"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
-	CacheLen       int     `json:"cache_len"`
-	CacheCapacity  int     `json:"cache_capacity"`
-	P50            string  `json:"p50"`
-	P99            string  `json:"p99"`
-	LatencySamples int     `json:"latency_samples"`
-	Uptime         string  `json:"uptime"`
+	Served            uint64  `json:"served"`
+	Failed            uint64  `json:"failed"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	CacheLen          int     `json:"cache_len"`
+	CacheCapacity     int     `json:"cache_capacity"`
+	PlanCacheHits     uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses   uint64  `json:"plan_cache_misses"`
+	PlanCacheHitRate  float64 `json:"plan_cache_hit_rate"`
+	PlanCacheLen      int     `json:"plan_cache_len"`
+	PlanCacheCapacity int     `json:"plan_cache_capacity"`
+	P50               string  `json:"p50"`
+	P99               string  `json:"p99"`
+	LatencySamples    int     `json:"latency_samples"`
+	Uptime            string  `json:"uptime"`
 }
 
 // SynopsisResponse is the body of GET /synopsis: the size and composition
@@ -135,6 +144,14 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if req.Explain {
 			results[i].Explain = s.Explain(qs[j], explainLimit)
 		}
+		if req.Plan {
+			plan, err := s.ExplainPlan(qs[j])
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			results[i].Plan = plan
+		}
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{Results: results})
 }
@@ -142,17 +159,22 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Served:         st.Served,
-		Failed:         st.Failed,
-		CacheHits:      st.Cache.Hits,
-		CacheMisses:    st.Cache.Misses,
-		CacheHitRate:   st.Cache.HitRate(),
-		CacheLen:       st.Cache.Len,
-		CacheCapacity:  st.Cache.Capacity,
-		P50:            st.P50.String(),
-		P99:            st.P99.String(),
-		LatencySamples: st.LatencySamples,
-		Uptime:         st.Uptime.String(),
+		Served:            st.Served,
+		Failed:            st.Failed,
+		CacheHits:         st.Cache.Hits,
+		CacheMisses:       st.Cache.Misses,
+		CacheHitRate:      st.Cache.HitRate(),
+		CacheLen:          st.Cache.Len,
+		CacheCapacity:     st.Cache.Capacity,
+		PlanCacheHits:     st.PlanCache.Hits,
+		PlanCacheMisses:   st.PlanCache.Misses,
+		PlanCacheHitRate:  st.PlanCache.HitRate(),
+		PlanCacheLen:      st.PlanCache.Len,
+		PlanCacheCapacity: st.PlanCache.Capacity,
+		P50:               st.P50.String(),
+		P99:               st.P99.String(),
+		LatencySamples:    st.LatencySamples,
+		Uptime:            st.Uptime.String(),
 	})
 }
 

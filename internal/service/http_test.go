@@ -60,6 +60,23 @@ func TestHTTPEstimate(t *testing.T) {
 		t.Fatalf("bad offset = %v", bad.Offset)
 	}
 
+	// plan=true returns each query's rendered compiled plan.
+	resp, raw = postJSON(t, srv, "/estimate", `{"queries":["//book[year>1990]/title"],"plan":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d, body %s", resp.StatusCode, raw)
+	}
+	var pr EstimateResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatalf("%v in %s", err, raw)
+	}
+	if len(pr.Results) != 1 || pr.Results[0].Selectivity == nil {
+		t.Fatalf("plan results = %+v", pr.Results)
+	}
+	plan := pr.Results[0].Plan
+	if !strings.Contains(plan, "plan //book[") || !strings.Contains(plan, "subproblems") {
+		t.Fatalf("plan field = %q", plan)
+	}
+
 	// Whole-request failures are HTTP errors.
 	for _, tc := range []struct {
 		body string
@@ -117,6 +134,14 @@ func TestHTTPStatsAndSynopsis(t *testing.T) {
 	}
 	if st.LatencySamples != 4 || st.P50 == "" || st.Uptime == "" {
 		t.Fatalf("latency stats = %+v", st)
+	}
+	// Two distinct shapes were compiled once each; the repeat batch and
+	// repeated executions hit the plan cache.
+	if st.PlanCacheMisses != 2 || st.PlanCacheLen != 2 {
+		t.Fatalf("plan cache stats = %+v", st)
+	}
+	if st.PlanCacheHits == 0 || st.PlanCacheHitRate <= 0 || st.PlanCacheCapacity == 0 {
+		t.Fatalf("plan cache stats = %+v", st)
 	}
 
 	resp, err = http.Get(srv.URL + "/synopsis")

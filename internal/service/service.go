@@ -49,6 +49,13 @@ func WithCacheCapacity(n int) Option {
 	return func(s *Service) { s.est.SetCacheCapacity(n) }
 }
 
+// WithPlanCacheCapacity sets the shared estimator's compiled-plan cache
+// capacity (<= 0 disables plan caching, so every uncached estimate
+// recompiles).
+func WithPlanCacheCapacity(n int) Option {
+	return func(s *Service) { s.est.SetPlanCacheCapacity(n) }
+}
+
 // WithUninformedSel sets the estimator's selectivity for predicates on
 // unsummarized type-matching clusters.
 func WithUninformedSel(sel float64) Option {
@@ -129,6 +136,11 @@ func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, err
 // out[i] is the selectivity of qs[i]. The first context error aborts the
 // remaining work and is returned; already-computed entries stay in the
 // slice.
+//
+// Before fanning out, the batch compiles each distinct query shape
+// exactly once (grouped by canonical string, sequentially, so racing
+// workers never compile the same shape twice); the workers then execute
+// through the estimator's plan and result caches.
 func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -138,6 +150,9 @@ func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float
 	out := make([]float64, len(qs))
 	if len(qs) == 0 {
 		return out, nil
+	}
+	if err := s.prepareShapes(qs); err != nil {
+		return out, err
 	}
 	workers := s.workers
 	if workers > len(qs) {
@@ -187,6 +202,38 @@ func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float
 	return out, batchErr
 }
 
+// prepareShapes compiles each distinct query shape in the batch once,
+// seeding the estimator's plan cache. With the plan cache disabled this
+// is a no-op (per-call compilation is what the caller asked for).
+func (s *Service) prepareShapes(qs []*query.Query) error {
+	if s.est.PlanCacheStats().Capacity == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(qs))
+	for i, q := range qs {
+		key := q.String()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		if _, err := s.est.Prepare(q); err != nil {
+			return fmt.Errorf("service: query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExplainPlan compiles one query and renders its compiled plan: the
+// resolved frontier clusters, bound term weights, and subproblem
+// structure of the canonicalize → compile → execute pipeline.
+func (s *Service) ExplainPlan(q *query.Query) (string, error) {
+	pq, err := s.est.Prepare(q)
+	if err != nil {
+		return "", err
+	}
+	return pq.ExplainPlan(), nil
+}
+
 // Explain returns up to limit formatted embeddings (query variables →
 // synopsis clusters with per-embedding tuple counts) for one query.
 func (s *Service) Explain(q *query.Query, limit int) []string {
@@ -213,6 +260,9 @@ type Stats struct {
 	Served, Failed uint64
 	// Cache is the shared estimator's result-cache snapshot.
 	Cache core.CacheStats
+	// PlanCache is the shared estimator's compiled-plan cache snapshot;
+	// its Misses count how many query shapes were compiled.
+	PlanCache core.CacheStats
 	// P50 and P99 are latency percentiles over the last LatencySamples
 	// answered queries.
 	P50, P99 time.Duration
@@ -238,6 +288,7 @@ func (s *Service) Stats() Stats {
 		Served:         s.served.Load(),
 		Failed:         s.failed.Load(),
 		Cache:          s.est.CacheStats(),
+		PlanCache:      s.est.PlanCacheStats(),
 		LatencySamples: n,
 		Uptime:         time.Since(s.start),
 	}

@@ -253,6 +253,77 @@ func TestStatsPercentiles(t *testing.T) {
 	}
 }
 
+// TestEstimateBatchCompilesOnce pins the batch pipeline's compile-once
+// guarantee: a batch full of repeated query shapes compiles each
+// distinct shape exactly once, no matter how many workers race over it
+// (plan-cache misses count compilations).
+func TestEstimateBatchCompilesOnce(t *testing.T) {
+	syn := newTestSynopsis(t)
+	qs := parseWorkload(t)
+	const rep = 32
+	big := make([]*query.Query, 0, rep*len(qs))
+	for r := 0; r < rep; r++ {
+		// Re-parse so repeated shapes are distinct *query.Query values:
+		// dedup must happen on the canonical string, not on pointers.
+		for _, s := range testWorkload {
+			big = append(big, query.MustParse(s))
+		}
+	}
+	// Result cache off so every execution reaches the plan layer.
+	svc := New(syn, WithWorkers(8), WithCacheCapacity(0))
+	if _, err := svc.EstimateBatch(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats().PlanCache
+	if st.Misses != uint64(len(qs)) {
+		t.Fatalf("plan-cache misses = %d, want exactly %d (one compile per distinct shape)", st.Misses, len(qs))
+	}
+	if st.Hits == 0 {
+		t.Fatalf("plan cache never hit across %d repeated executions: %+v", rep*len(qs), st)
+	}
+	// A second identical batch compiles nothing new.
+	if _, err := svc.EstimateBatch(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	if after := svc.Stats().PlanCache; after.Misses != st.Misses {
+		t.Fatalf("second batch recompiled: misses %d -> %d", st.Misses, after.Misses)
+	}
+
+	// With the plan cache disabled the batch still answers correctly.
+	want := sequentialAnswers(syn, qs)
+	svc2 := New(syn, WithWorkers(8), WithCacheCapacity(0), WithPlanCacheCapacity(0))
+	got, err := svc2.EstimateBatch(context.Background(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != want[i%len(qs)] {
+			t.Fatalf("uncached batch[%d]: %v != sequential %v", i, v, want[i%len(qs)])
+		}
+	}
+	if st := svc2.Stats().PlanCache; st != (core.CacheStats{}) {
+		t.Fatalf("disabled plan cache reports %+v", st)
+	}
+}
+
+func TestExplainPlan(t *testing.T) {
+	svc := New(newTestSynopsis(t))
+	out, err := svc.ExplainPlan(query.MustParse("//book[year>1990]/title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan //book[", "subproblems", "lowered steps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ExplainPlan output missing %q:\n%s", want, out)
+		}
+	}
+	// A query over labels absent from the synopsis still has a plan (an
+	// empty one); only malformed queries error.
+	if _, err := svc.ExplainPlan(query.MustParse("//nosuchtag")); err != nil {
+		t.Fatalf("ExplainPlan(//nosuchtag): %v", err)
+	}
+}
+
 func TestExplain(t *testing.T) {
 	syn := newTestSynopsis(t)
 	svc := New(syn)

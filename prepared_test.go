@@ -1,0 +1,145 @@
+// Differential test of the compiled-plan pipeline at full workload
+// scale: for every generated twig query over the IMDB and XMark
+// datasets, PreparedQuery execution must reproduce Estimator.Selectivity
+// bit-for-bit, sequentially and under concurrent load. The small
+// hand-written shapes live in internal/core/plan_test.go; this is the
+// breadth check over the harness's generated workloads (all four query
+// classes, positive and negative).
+package xcluster_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xcluster/internal/core"
+	"xcluster/internal/harness"
+	"xcluster/internal/query"
+	"xcluster/internal/workload"
+)
+
+// preparedDataset is one dataset's differential fixture: a compressed
+// synopsis and its generated workload.
+type preparedDataset struct {
+	name string
+	syn  *core.Synopsis
+	qs   []*query.Query
+}
+
+// preparedFixtures builds both datasets' synopses and workloads, adding
+// a negative workload so zero-selectivity plans are covered too.
+func preparedFixtures(t *testing.T) []preparedDataset {
+	t.Helper()
+	cfg := harness.Config{Scale: 1, Seed: 7, PerClass: 30, Points: 4}
+	var out []preparedDataset
+	for _, name := range harness.DatasetNames() {
+		d, err := harness.NewDataset(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := cfg.BuildAt(d, d.Ref.StructBytes()/20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qs []*query.Query
+		for i := range d.Workload.Queries {
+			qs = append(qs, d.Workload.Queries[i].Q)
+		}
+		neg, err := workload.Generate(d.Tree, workload.Options{
+			Seed: cfg.Seed + 1, PerClass: 5, ValuePaths: d.ValuePaths, Negative: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range neg.Queries {
+			qs = append(qs, neg.Queries[i].Q)
+		}
+		out = append(out, preparedDataset{name: name, syn: syn, qs: qs})
+	}
+	return out
+}
+
+// TestPreparedDifferential prepares every generated query and requires
+// the compiled plan's answer to equal the shared estimator's, for at
+// least 200 queries across the two datasets.
+func TestPreparedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full harness datasets")
+	}
+	total := 0
+	for _, d := range preparedFixtures(t) {
+		est := core.NewEstimator(d.syn)
+		est.SetCacheCapacity(0) // answers must come from execution
+		for i, q := range d.qs {
+			want := est.Selectivity(q)
+			pq, err := est.Prepare(q)
+			if err != nil {
+				t.Fatalf("%s: prepare query %d (%s): %v", d.name, i, q, err)
+			}
+			if got := pq.Selectivity(); got != want {
+				t.Errorf("%s: query %d (%s): prepared %v, estimator %v (bit-for-bit)",
+					d.name, i, q, got, want)
+			}
+		}
+		total += len(d.qs)
+	}
+	if total < 200 {
+		t.Fatalf("differential workload has %d queries, want >= 200", total)
+	}
+}
+
+// TestPreparedDifferentialConcurrent executes the prepared plans of both
+// datasets from 32 goroutines sharing one estimator per dataset; every
+// answer must stay bit-for-bit identical to the sequential ground truth.
+// Run with -race.
+func TestPreparedDifferentialConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full harness datasets")
+	}
+	for _, d := range preparedFixtures(t) {
+		est := core.NewEstimator(d.syn)
+		est.SetCacheCapacity(0)
+		want := make([]float64, len(d.qs))
+		prepared := make([]*core.PreparedQuery, len(d.qs))
+		for i, q := range d.qs {
+			want[i] = est.Selectivity(q)
+			pq, err := est.Prepare(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepared[i] = pq
+		}
+		const goroutines = 32
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < len(prepared); r++ {
+					// Rotate so goroutines overlap on different plans,
+					// alternating prepared execution with the shared
+					// estimator's compiled path.
+					i := (g + r) % len(prepared)
+					if got := prepared[i].Selectivity(); got != want[i] {
+						errs <- fmt.Errorf("%s: goroutine %d: prepared %s = %v, want %v",
+							d.name, g, d.qs[i], got, want[i])
+						return
+					}
+					if g%2 == 0 {
+						if got := est.Selectivity(d.qs[i]); got != want[i] {
+							errs <- fmt.Errorf("%s: goroutine %d: estimator %s = %v, want %v",
+								d.name, g, d.qs[i], got, want[i])
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+}

@@ -16,6 +16,11 @@
 //	q, _ := xcluster.ParseQuery("//paper[year>2000]/title[contains(Tree)]")
 //	fmt.Println(est.Selectivity(q))
 //
+// Hot query shapes can be compiled once and executed many times:
+//
+//	pq, _ := est.Prepare(q)
+//	fmt.Println(pq.Selectivity()) // same value, no per-call resolution
+//
 // Pre-existing call sites that configured builds with the Options struct
 // keep working through the Legacy adapter:
 //
@@ -190,15 +195,34 @@ func compressContext(ctx context.Context, ref *Synopsis, structBudget, valueBudg
 	})
 }
 
-// CacheStats is a snapshot of an Estimator's query-result cache
-// (hit/miss counters and occupancy).
+// CacheStats is a snapshot of one of an Estimator's LRU caches — the
+// query-result cache (Estimator.CacheStats) or the compiled-plan cache
+// (Estimator.PlanCacheStats) — with hit/miss counters and occupancy.
 type CacheStats = core.CacheStats
+
+// PreparedQuery is a twig query compiled once against an estimator's
+// synopsis for repeated execution — the prepared-statement shape of the
+// estimation pipeline. Obtain one with Estimator.Prepare:
+//
+//	pq, err := est.Prepare(q)
+//	for i := 0; i < 1e6; i++ {
+//	    _ = pq.Selectivity() // executes the compiled plan; no re-resolution
+//	}
+//
+// Execution is bit-for-bit identical to Estimator.Selectivity and safe
+// for concurrent use. PreparedQuery.ExplainPlan renders the compiled
+// plan for inspection.
+type PreparedQuery = core.PreparedQuery
 
 // NewEstimator returns a selectivity estimator over the synopsis. The
 // estimator is safe for concurrent use: descendant-closure vectors are
-// precomputed here, per-call state is pooled, and repeated queries are
-// answered from an internal LRU cache (see Estimator.CacheStats;
-// Estimator.SetCacheCapacity resizes or disables it).
+// precomputed here, per-call state is pooled, and estimation runs a
+// canonicalize → compile → execute pipeline behind two internal LRU
+// caches — query results (Estimator.CacheStats, SetCacheCapacity) and
+// compiled plans (Estimator.PlanCacheStats, SetPlanCacheCapacity).
+// Callers that hold a query shape and estimate it repeatedly should
+// compile it once with Estimator.Prepare and execute the returned
+// PreparedQuery.
 func NewEstimator(s *Synopsis) *Estimator {
 	return core.NewEstimator(s)
 }
