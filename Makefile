@@ -2,12 +2,14 @@ GO ?= go
 
 .PHONY: check build test bench
 
-# The check gate: gofmt, vet, build, full suite under the race detector.
+# The check gate: gofmt, vet, build, a fast -short pass under the race
+# detector, then the full suite (slow experiment sweeps included).
 check:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -short -race ./...
+	$(GO) test ./...
 
 build:
 	$(GO) build ./...

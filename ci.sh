@@ -1,8 +1,10 @@
 #!/bin/sh
-# The repository's check gate: gofmt, vet, build everything, and run the
-# full test suite under the race detector (the concurrency tests in
-# concurrency_test.go and internal/service depend on -race to mean
-# anything). Same commands as `make check`.
+# The repository's check gate: gofmt, vet, build everything, then two
+# test passes — a fast -short pass under the race detector (the
+# concurrency tests in concurrency_test.go, internal/obs, and
+# internal/service depend on -race to mean anything) and the full suite,
+# including the slow harness experiment sweeps, without it. Same
+# commands as `make check`.
 set -eux
 
 fmt="$(gofmt -l .)"
@@ -13,4 +15,5 @@ if [ -n "$fmt" ]; then
 fi
 go vet ./...
 go build ./...
-go test -race ./...
+go test -short -race ./...
+go test ./...

@@ -9,17 +9,25 @@
 //	xclusterd -syn syn.bin -addr :8080
 //
 //	curl -s localhost:8080/estimate -d '{"queries":["//paper[year>2000]/title"]}'
-//	curl -s localhost:8080/estimate -d '{"queries":["//paper/title"],"plan":true}'
-//	curl -s localhost:8080/stats    # includes plan-cache hit rates
+//	curl -s localhost:8080/estimate -d '{"queries":["//paper/title"],"trace":true}'
+//	curl -s localhost:8080/metrics        # Prometheus text format
+//	curl -s localhost:8080/stats          # JSON counters + percentiles
+//	curl -s localhost:8080/debug/slowlog  # slow-query ring buffer
+//	curl -s localhost:8080/buildinfo
 //	curl -s localhost:8080/synopsis
 //
 // Estimation compiles each distinct query shape once (the prepared
 // plan is cached in an LRU sized by -plancache) and executes the
-// compiled plan per request; /stats reports both the result-cache and
-// plan-cache hit rates.
+// compiled plan per request. Every estimate runs the traced pipeline:
+// per-stage latencies aggregate into /metrics histograms, queries
+// slower than -slowquery land in /debug/slowlog, and "trace":true
+// returns the spans inline.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain.
+// Logs are structured JSON on stderr (log/slog). -pprof-addr serves
+// net/http/pprof on a separate listener for profiling. The server
+// shuts down gracefully on SIGINT/SIGTERM: it stops accepting, drains
+// in-flight requests and batch work within the -drain deadline, and
+// flushes the slow-query log into the structured log before exiting.
 package main
 
 import (
@@ -27,8 +35,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,31 +49,55 @@ import (
 
 func main() {
 	var (
-		synPath = flag.String("syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "batch worker goroutines (default GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
-		cache   = flag.Int("cache", 0, "query-result cache capacity (default 1024, negative disables)")
-		planCap = flag.Int("plancache", 0, "compiled-plan cache capacity (default 256, negative disables)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		synPath  = flag.String("syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "batch worker goroutines (default GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
+		cache    = flag.Int("cache", 0, "query-result cache capacity (default 1024, negative disables)")
+		planCap  = flag.Int("plancache", 0, "compiled-plan cache capacity (default 256, negative disables)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight work")
+		slowQ    = flag.Duration("slowquery", 100*time.Millisecond, "slow-query log threshold (0 disables)")
+		slowCap  = flag.Int("slowlog-cap", 0, "slow-query log ring capacity (default 128)")
+		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(service.ReadBuildInfo())
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "xclusterd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	if *synPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: xclusterd -syn syn.bin [-addr :8080] [-workers N] [-timeout 5s] [-cache N]")
+		fmt.Fprintln(os.Stderr, "usage: xclusterd -syn syn.bin [-addr :8080] [-workers N] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]")
 		os.Exit(2)
 	}
 
 	f, err := os.Open(*synPath)
 	if err != nil {
-		log.Fatalf("xclusterd: %v", err)
+		fatal("opening synopsis", err)
 	}
 	syn, err := xcluster.ReadSynopsis(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("xclusterd: reading synopsis: %v", err)
+		fatal("reading synopsis", err)
 	}
 
-	opts := []service.Option{service.WithTimeout(*timeout)}
+	opts := []service.Option{
+		service.WithTimeout(*timeout),
+		service.WithSlowQueryLog(*slowQ, *slowCap),
+	}
 	if *workers > 0 {
 		opts = append(opts, service.WithWorkers(*workers))
 	}
@@ -75,7 +108,32 @@ func main() {
 		opts = append(opts, service.WithPlanCacheCapacity(*planCap))
 	}
 	svc := service.New(syn, opts...)
-	log.Printf("xclusterd: serving %s on %s", xcluster.SynopsisStats(syn), *addr)
+
+	bi := service.ReadBuildInfo()
+	st := xcluster.SynopsisStats(syn)
+	logger.Info("serving",
+		"addr", *addr,
+		"synopsis", st.String(),
+		"slowquery_threshold", slowQ.String(),
+		"go_version", bi.GoVersion,
+		"vcs_revision", bi.Revision,
+	)
+
+	if *pprofA != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofA, Handler: pprofMux, ReadHeaderTimeout: 5 * time.Second}
+		logger.Info("pprof listening", "addr", *pprofA)
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "error", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -91,18 +149,41 @@ func main() {
 
 	select {
 	case err := <-done:
-		log.Fatalf("xclusterd: %v", err)
+		fatal("server", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("xclusterd: shutting down (served %d, failed %d)",
-			svc.Stats().Served, svc.Stats().Failed)
+		stats := svc.Stats()
+		logger.Info("shutting down",
+			"served", stats.Served,
+			"failed", stats.Failed,
+			"slow_queries", stats.SlowQueries,
+			"drain_deadline", drain.String(),
+		)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Stop accepting and wait for in-flight HTTP handlers, then for
+		// any estimation work still running (EstimateBatch workers), all
+		// under the one -drain deadline.
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("xclusterd: shutdown: %v", err)
+			logger.Error("shutdown incomplete", "error", err)
+		}
+		if err := svc.Drain(shutdownCtx); err != nil {
+			logger.Error("drain incomplete", "error", err)
 		}
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("xclusterd: %v", err)
+			fatal("server", err)
 		}
+		// Flush the slow-query log into the structured log so captured
+		// queries survive the process.
+		for _, e := range svc.SlowLog().Snapshot() {
+			logger.Warn("slow query",
+				"query", e.Query,
+				"plan", e.Plan,
+				"estimate", e.Estimate,
+				"total", time.Duration(e.TotalNanos).String(),
+				"time", e.Time,
+			)
+		}
+		logger.Info("stopped")
 	}
 }

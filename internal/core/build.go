@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xcluster/internal/vsum"
 	"xcluster/internal/xmltree"
@@ -46,6 +47,10 @@ type BuildOptions struct {
 	RandomMerges bool
 	// RandomSeed seeds RandomMerges.
 	RandomSeed int64
+	// Metrics, when non-nil, receives per-phase build wall times
+	// (MetricBuildPhaseSeconds with phase="merge"/"value") from
+	// XClusterBuildContext.
+	Metrics MetricSink
 	// GlobalMetric replaces the paper's localized Δ with the
 	// TreeSketch-style global clustering metric: the increase in
 	// squared structural-centroid distance between the reference
@@ -100,6 +105,7 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 			b.refToCur[id] = id
 		}
 	}
+	phaseStart := time.Now()
 	if opts.RandomMerges {
 		if err := b.randomMergePhase(); err != nil {
 			return nil, err
@@ -107,8 +113,15 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 	} else if err := b.mergePhase(); err != nil {
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="merge"`, time.Since(phaseStart).Seconds())
+	}
+	phaseStart = time.Now()
 	if err := b.valuePhase(); err != nil {
 		return nil, err
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="value"`, time.Since(phaseStart).Seconds())
 	}
 	return s, nil
 }

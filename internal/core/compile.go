@@ -51,6 +51,10 @@ func (pq *PreparedQuery) Query() string { return pq.plan.Query() }
 // references.
 func (pq *PreparedQuery) ExplainPlan() string { return pq.plan.describe(pq.est.s) }
 
+// PlanSummary returns the compiled plan's one-line header (subproblem,
+// term, and lowered-step counts) without the per-subproblem detail.
+func (pq *PreparedQuery) PlanSummary() string { return pq.plan.Summary() }
+
 // compile lowers q onto the synopsis: every step label is resolved to
 // an id set once, every (variable, origin) subproblem's frontier and
 // predicate selectivities are evaluated through the same reach/predSel

@@ -62,6 +62,9 @@ type Estimator struct {
 	// repeated query shapes compile once and execute many times; nil
 	// when disabled.
 	plans *lruCache[*Plan]
+	// sink, when non-nil, receives pipeline stage timings and cache
+	// outcomes from the traced estimation paths (SetMetricSink).
+	sink MetricSink
 }
 
 // weight is one (node, expected count) pair of a sparse vector.
@@ -176,8 +179,14 @@ func (e *Estimator) Selectivity(q *query.Query) float64 {
 
 // SelectivityContext is Selectivity with cancellation: it checks ctx
 // before evaluating each root variable (cache hits short-circuit). Use
-// it when estimates are served under a request deadline.
+// it when estimates are served under a request deadline. With a metric
+// sink configured it runs the traced pipeline, so per-stage timings
+// reach the sink on every call.
 func (e *Estimator) SelectivityContext(ctx context.Context, q *query.Query) (float64, error) {
+	if e.sink != nil {
+		v, _, err := e.SelectivityTraced(ctx, q)
+		return v, err
+	}
 	var key string
 	if e.cache != nil {
 		key = e.cacheKey(q)
@@ -203,10 +212,16 @@ func (e *Estimator) SelectivityContext(ctx context.Context, q *query.Query) (flo
 // salted with UninformedSel when nonzero (both the estimate and the
 // compiled plan depend on it).
 func (e *Estimator) cacheKey(q *query.Query) string {
+	return e.saltKey(q.String())
+}
+
+// saltKey turns an already-canonicalized query string into its cache
+// key, for callers that hold the canonical string.
+func (e *Estimator) saltKey(canonical string) string {
 	if e.UninformedSel == 0 {
-		return q.String()
+		return canonical
 	}
-	return strconv.FormatFloat(e.UninformedSel, 'g', -1, 64) + "|" + q.String()
+	return strconv.FormatFloat(e.UninformedSel, 'g', -1, 64) + "|" + canonical
 }
 
 // planFor returns the compiled plan of q, consulting the plan cache

@@ -139,17 +139,25 @@ func evalSub(s *planSub, vals []float64) float64 {
 	return total
 }
 
+// Summary returns the plan's one-line header: canonical query,
+// subproblem and term counts, and lowered steps. It is the plan
+// rendering the slow-query log captures.
+func (p *Plan) Summary() string {
+	terms := 0
+	for i := range p.subs {
+		terms += len(p.subs[i].terms)
+	}
+	return fmt.Sprintf("plan %s: %d subproblems, %d terms, %d lowered steps",
+		p.canonical, len(p.subs), terms, p.loweredSteps)
+}
+
 // describe renders the compiled plan against its synopsis: one line per
 // subproblem with the resolved frontier clusters, bound weights, and
 // child subproblem references.
 func (p *Plan) describe(s *Synopsis) string {
 	var sb strings.Builder
-	terms := 0
-	for i := range p.subs {
-		terms += len(p.subs[i].terms)
-	}
-	fmt.Fprintf(&sb, "plan %s: %d subproblems, %d terms, %d lowered steps\n",
-		p.canonical, len(p.subs), terms, p.loweredSteps)
+	sb.WriteString(p.Summary())
+	sb.WriteByte('\n')
 	for i := range p.subs {
 		sub := &p.subs[i]
 		origin := "document"

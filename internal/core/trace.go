@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"xcluster/internal/query"
+)
+
+// Pipeline stage names of one estimate, in execution order. StageParse
+// is emitted by the serving layer (query text → AST happens above
+// core); the remaining stages are recorded by SelectivityTraced.
+const (
+	StageParse        = "parse"
+	StageCanonicalize = "canonicalize"
+	StageResultCache  = "result_cache"
+	StagePlanCache    = "plan_cache"
+	StageCompile      = "compile"
+	StageExecute      = "execute"
+)
+
+// Span is one timed pipeline stage of a single estimate.
+type Span struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// EstimateTrace records where one estimate's wall time went: one span
+// per pipeline stage actually run (a result-cache hit has no compile or
+// execute span; a disabled cache has no lookup span), in execution
+// order.
+type EstimateTrace struct {
+	// Canonical is the query's canonical string — its identity in both
+	// caches and the slow-query log.
+	Canonical string
+	// Spans are the stage timings in execution order.
+	Spans []Span
+	// Total is the wall time of the whole call; it is at least the sum
+	// of the spans (inter-stage bookkeeping is not attributed to any
+	// stage).
+	Total time.Duration
+	// ResultCacheHit and PlanCacheHit report the cache outcomes (false
+	// when the corresponding lookup never ran).
+	ResultCacheHit bool
+	PlanCacheHit   bool
+	// Subproblems is the executed plan's size (0 on a result-cache hit:
+	// no plan was consulted).
+	Subproblems int
+}
+
+// add appends one stage timing.
+func (t *EstimateTrace) add(stage string, d time.Duration) {
+	t.Spans = append(t.Spans, Span{Stage: stage, Duration: d})
+}
+
+// SpanSum returns the summed stage durations (at most Total).
+func (t *EstimateTrace) SpanSum() time.Duration {
+	var s time.Duration
+	for _, sp := range t.Spans {
+		s += sp.Duration
+	}
+	return s
+}
+
+// SelectivityTraced is SelectivityContext with per-stage tracing: it
+// runs the same canonicalize → result-cache → plan-cache → compile →
+// execute pipeline and returns, alongside the estimate, a trace of
+// where the time went. The trace is also returned on error, covering
+// the stages that ran. When a metric sink is configured the trace is
+// additionally emitted into it.
+func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (float64, *EstimateTrace, error) {
+	tr := &EstimateTrace{Spans: make([]Span, 0, 5)}
+	t0 := time.Now()
+	canonical := q.String()
+	tr.Canonical = canonical
+	key := e.saltKey(canonical)
+	tr.add(StageCanonicalize, time.Since(t0))
+
+	if e.cache != nil {
+		ts := time.Now()
+		v, ok := e.cache.get(key)
+		tr.add(StageResultCache, time.Since(ts))
+		if ok {
+			tr.ResultCacheHit = true
+			tr.Total = time.Since(t0)
+			e.emit(tr)
+			return v, tr, nil
+		}
+	}
+
+	var plan *Plan
+	if e.plans != nil {
+		ts := time.Now()
+		p, ok := e.plans.get(key)
+		tr.add(StagePlanCache, time.Since(ts))
+		if ok {
+			plan = p
+			tr.PlanCacheHit = true
+		}
+	}
+	if plan == nil {
+		ts := time.Now()
+		p, err := e.compile(q)
+		tr.add(StageCompile, time.Since(ts))
+		if err != nil {
+			tr.Total = time.Since(t0)
+			e.emit(tr)
+			return 0, tr, err
+		}
+		if e.plans != nil {
+			e.plans.put(key, p)
+		}
+		plan = p
+	}
+	tr.Subproblems = plan.NumSubproblems()
+
+	ts := time.Now()
+	total, err := plan.executeContext(ctx)
+	tr.add(StageExecute, time.Since(ts))
+	if err != nil {
+		tr.Total = time.Since(t0)
+		e.emit(tr)
+		return 0, tr, err
+	}
+	if e.cache != nil {
+		e.cache.put(key, total)
+	}
+	tr.Total = time.Since(t0)
+	e.emit(tr)
+	return total, tr, nil
+}
+
+// emit forwards one trace's stage timings and cache outcomes to the
+// configured sink, if any.
+func (e *Estimator) emit(tr *EstimateTrace) {
+	if e.sink == nil {
+		return
+	}
+	resultLooked, planLooked := false, false
+	for _, sp := range tr.Spans {
+		e.sink.Observe(MetricPipelineStageSeconds, `stage="`+sp.Stage+`"`, sp.Duration.Seconds())
+		switch sp.Stage {
+		case StageResultCache:
+			resultLooked = true
+		case StagePlanCache:
+			planLooked = true
+		}
+	}
+	if resultLooked {
+		e.sink.Add(MetricCacheLookupsTotal, `cache="result",outcome="`+hitOutcome(tr.ResultCacheHit)+`"`, 1)
+	}
+	if planLooked {
+		e.sink.Add(MetricCacheLookupsTotal, `cache="plan",outcome="`+hitOutcome(tr.PlanCacheHit)+`"`, 1)
+	}
+}
+
+// hitOutcome renders a cache outcome label value.
+func hitOutcome(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

@@ -61,6 +61,9 @@ func TestTables(t *testing.T) {
 }
 
 func TestFigure8SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short")
+	}
 	cfg := smallCfg()
 	d, err := NewDataset("IMDB", cfg)
 	if err != nil {
@@ -97,6 +100,9 @@ func TestFigure8SweepShape(t *testing.T) {
 }
 
 func TestFigure9AndNegative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short")
+	}
 	cfg := smallCfg()
 	d, err := NewDataset("XMark", cfg)
 	if err != nil {
@@ -133,6 +139,9 @@ func TestFigure9AndNegative(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short")
+	}
 	cfg := smallCfg()
 	d, err := NewDataset("IMDB", cfg)
 	if err != nil {
@@ -197,6 +206,9 @@ func TestAblations(t *testing.T) {
 }
 
 func TestAutoBudgetExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short")
+	}
 	cfg := smallCfg()
 	d, err := NewDataset("IMDB", cfg)
 	if err != nil {

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	"xcluster/internal/core"
+	"xcluster/internal/obs"
 	"xcluster/internal/query"
 )
 
@@ -31,6 +33,10 @@ type PreparedRow struct {
 	// Mismatches counts prepared results that differed bit-for-bit from
 	// the cold path (must be 0; reported so the JSON is self-checking).
 	Mismatches int `json:"mismatches"`
+	// Metrics is the flattened metrics-registry snapshot of the run:
+	// synopsis build-phase timings and pipeline-stage histograms
+	// (count/sum/percentiles per series), keyed by Prometheus series name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // PreparedExperiment measures the compile-once/execute-many win of the
@@ -43,6 +49,12 @@ func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) 
 	if iters <= 0 {
 		iters = 2000
 	}
+	// The experiment carries its own metrics registry: BuildAt's phase
+	// timings land in it, and a post-benchmark traced pass fills the
+	// pipeline-stage histograms. The registry snapshot becomes the row's
+	// metrics section.
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
 	syn, err := cfg.BuildAt(d, d.Ref.StructBytes()/20)
 	if err != nil {
 		return PreparedRow{}, err
@@ -93,6 +105,17 @@ func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) 
 	}
 	prepElapsed := time.Since(t0)
 
+	// Traced pass, outside the timed loops so tracing overhead cannot
+	// perturb the benchmark numbers: one estimate per workload query
+	// through the instrumented pipeline fills the per-stage histograms.
+	traced := core.NewEstimator(syn)
+	traced.SetMetricSink(reg)
+	for _, q := range qs {
+		if _, err := traced.SelectivityContext(context.Background(), q); err != nil {
+			return PreparedRow{}, fmt.Errorf("harness: traced pass %s: %w", q, err)
+		}
+	}
+
 	row := PreparedRow{
 		Dataset:         d.Name,
 		Queries:         len(qs),
@@ -105,6 +128,7 @@ func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) 
 	if row.PreparedNsPerOp > 0 {
 		row.Speedup = row.ColdNsPerOp / row.PreparedNsPerOp
 	}
+	row.Metrics = reg.Snapshot()
 	return row, nil
 }
 

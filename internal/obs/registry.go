@@ -1,0 +1,425 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// metrics registry of atomic counters, gauges, and fixed-bucket latency
+// histograms with exact percentile readouts, rendered in Prometheus
+// text format, plus a ring-buffer slow-query log (slowlog.go).
+//
+// The registry is the concrete implementation behind the small
+// MetricSink interface internal/core defines (Add/Observe), so the core
+// estimation pipeline and synopsis build can emit metrics without
+// depending on this package; internal/service and the daemons hold the
+// registry directly and expose it at GET /metrics.
+//
+// All metric operations are safe for concurrent use and lock-free on
+// the hot path (counter increments, bucket increments); only the exact
+// percentile sample ring takes a mutex.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the counter. It exists for mirrored counters whose
+// source of truth lives elsewhere (e.g. the estimator's internal LRU
+// counters, synced at scrape time so /stats and /metrics agree).
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; safe concurrently).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histWindow is the number of recent observations a histogram retains
+// for exact percentile readouts (the bucket counts are unbounded).
+const histWindow = 4096
+
+// DefaultLatencyBuckets are the histogram bounds used when none are
+// given: exponential-ish latency buckets in seconds from 5µs to 10s.
+var DefaultLatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram (Prometheus-style cumulative
+// buckets at render time) that additionally keeps a ring of the most
+// recent histWindow raw observations, so percentile readouts are exact
+// over the recent window rather than bucket-interpolated.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+
+	mu   sync.Mutex
+	ring []float64
+	next uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		ring:   make([]float64, histWindow),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.mu.Lock()
+	h.ring[h.next%histWindow] = v
+	h.next++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// samples copies the retained ring, sorted ascending.
+func (h *Histogram) samples() []float64 {
+	h.mu.Lock()
+	n := h.next
+	if n > histWindow {
+		n = histWindow
+	}
+	out := make([]float64, n)
+	copy(out, h.ring[:n])
+	h.mu.Unlock()
+	sort.Float64s(out)
+	return out
+}
+
+// quantileOf indexes a sorted sample slice the same way the previous
+// service stats did (p=0.5 → s[n/2]), keeping /stats readouts stable.
+func quantileOf(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Quantile returns the exact p-quantile (0 < p < 1) over the retained
+// window of recent observations, or 0 with no observations.
+func (h *Histogram) Quantile(p float64) float64 { return quantileOf(h.samples(), p) }
+
+// HistogramSnapshot is a point-in-time readout of a histogram.
+type HistogramSnapshot struct {
+	// Count and Sum cover every observation ever made.
+	Count uint64
+	Sum   float64
+	// Samples is the number of recent observations behind the exact
+	// percentiles (at most the retained window).
+	Samples       int
+	P50, P95, P99 float64
+}
+
+// Snapshot returns counters and exact percentiles in one pass.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := h.samples()
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Samples: len(s),
+		P50:     quantileOf(s, 0.50),
+		P95:     quantileOf(s, 0.95),
+		P99:     quantileOf(s, 0.99),
+	}
+}
+
+// metricKey identifies one series: a metric name plus its rendered
+// label pairs (e.g. `stage="compile"`, possibly empty).
+type metricKey struct{ name, labels string }
+
+// Registry is a set of named metrics. Series are created on first use
+// and live for the registry's lifetime. A metric name must be used with
+// a single kind (counter, gauge, or histogram); reusing a name across
+// kinds renders two conflicting families and is a caller bug.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// Help sets the HELP text rendered for a metric name.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use. labels is a rendered Prometheus label list without braces,
+// e.g. `outcome="ok"`, or "" for none.
+func (r *Registry) Counter(name, labels string) *Counter {
+	k := metricKey{name, labels}
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge series for (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, labels string) *Gauge {
+	k := metricKey{name, labels}
+	r.mu.RLock()
+	g, ok := r.gauges[k]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[k]; !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram series for (name, labels), creating
+// it with the given bucket bounds on first use (nil bounds selects
+// DefaultLatencyBuckets). Later calls ignore bounds: the first
+// registration wins.
+func (r *Registry) Histogram(name, labels string, bounds []float64) *Histogram {
+	k := metricKey{name, labels}
+	r.mu.RLock()
+	h, ok := r.hists[k]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[k]; !ok {
+		h = newHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Add increments the counter series by delta (rounded to the nearest
+// integer). Together with Observe it makes *Registry satisfy the
+// MetricSink interface internal/core defines.
+func (r *Registry) Add(name, labels string, delta float64) {
+	r.Counter(name, labels).Add(uint64(delta + 0.5))
+}
+
+// Observe records value into the histogram series (default latency
+// buckets on first use).
+func (r *Registry) Observe(name, labels string, value float64) {
+	r.Histogram(name, labels, nil).Observe(value)
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesRef renders `name{labels}` (or bare name), with extra appended
+// to the label list when non-empty (used for the le bucket label).
+func seriesRef(name, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return name
+	}
+	return name + "{" + all + "}"
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label string, histograms as cumulative _bucket/_sum/_count
+// series. The output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type series struct {
+		labels string
+		c      *Counter
+		g      *Gauge
+		h      *Histogram
+	}
+	families := make(map[string][]series)
+	kind := make(map[string]string)
+	add := func(k metricKey, s series) {
+		families[k.name] = append(families[k.name], s)
+	}
+	for k, c := range r.counters {
+		add(k, series{labels: k.labels, c: c})
+		kind[k.name] = "counter"
+	}
+	for k, g := range r.gauges {
+		add(k, series{labels: k.labels, g: g})
+		kind[k.name] = "gauge"
+	}
+	for k, h := range r.hists {
+		add(k, series{labels: k.labels, h: h})
+		kind[k.name] = "histogram"
+	}
+	help := make(map[string]string, len(r.help))
+	for name, text := range r.help {
+		help[name] = text
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		ss := families[name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		if text, ok := help[name]; ok {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, escapeHelp(text))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, kind[name])
+		for _, s := range ss {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&sb, "%s %d\n", seriesRef(name, s.labels, ""), s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&sb, "%s %s\n", seriesRef(name, s.labels, ""), formatFloat(s.g.Value()))
+			case s.h != nil:
+				cum := uint64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					fmt.Fprintf(&sb, "%s %d\n",
+						seriesRef(name+"_bucket", s.labels, `le="`+formatFloat(bound)+`"`), cum)
+				}
+				fmt.Fprintf(&sb, "%s %d\n",
+					seriesRef(name+"_bucket", s.labels, `le="+Inf"`), s.h.Count())
+				fmt.Fprintf(&sb, "%s %s\n", seriesRef(name+"_sum", s.labels, ""), formatFloat(s.h.Sum()))
+				fmt.Fprintf(&sb, "%s %d\n", seriesRef(name+"_count", s.labels, ""), s.h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Snapshot flattens the registry into a series → value map for embedding
+// in JSON reports (bench output): counters and gauges directly, and for
+// each histogram its _count, _sum, and exact p50/p95/p99 readouts.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[metricKey]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+
+	out := make(map[string]float64)
+	for k, c := range counters {
+		out[seriesRef(k.name, k.labels, "")] = float64(c.Value())
+	}
+	for k, g := range gauges {
+		out[seriesRef(k.name, k.labels, "")] = g.Value()
+	}
+	for k, h := range hists {
+		snap := h.Snapshot()
+		out[seriesRef(k.name+"_count", k.labels, "")] = float64(snap.Count)
+		out[seriesRef(k.name+"_sum", k.labels, "")] = snap.Sum
+		out[seriesRef(k.name+"_p50", k.labels, "")] = snap.P50
+		out[seriesRef(k.name+"_p95", k.labels, "")] = snap.P95
+		out[seriesRef(k.name+"_p99", k.labels, "")] = snap.P99
+	}
+	return out
+}

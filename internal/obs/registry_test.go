@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	c.Store(2)
+	if got := c.Value(); got != 2 {
+		t.Fatalf("after Store(2): Value() = %d, want 2", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value() = %g, want 3", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram(nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.Sum != 5050 || snap.Samples != 100 {
+		t.Fatalf("snapshot = %+v, want Count=100 Sum=5050 Samples=100", snap)
+	}
+	// quantileOf indexes s[int(p*n)], the convention the service stats
+	// have always used: p50 of 1..100 is s[50] = 51.
+	if snap.P50 != 51 || snap.P95 != 96 || snap.P99 != 100 {
+		t.Fatalf("quantiles = %g/%g/%g, want 51/96/100", snap.P50, snap.P95, snap.P99)
+	}
+	if got := h.Quantile(0.5); got != 51 {
+		t.Fatalf("Quantile(0.5) = %g, want 51", got)
+	}
+}
+
+func TestHistogramRingWindow(t *testing.T) {
+	h := newHistogram(nil)
+	// Overfill the ring: the first histWindow observations are 0, then
+	// histWindow more at 7 overwrite them entirely.
+	for i := 0; i < histWindow; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < histWindow; i++ {
+		h.Observe(7)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 2*histWindow {
+		t.Fatalf("Count = %d, want %d", snap.Count, 2*histWindow)
+	}
+	if snap.Samples != histWindow {
+		t.Fatalf("Samples = %d, want %d", snap.Samples, histWindow)
+	}
+	if snap.P50 != 7 || snap.P99 != 7 {
+		t.Fatalf("percentiles over retained window = %g/%g, want 7/7", snap.P50, snap.P99)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram(nil)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile on empty histogram = %g, want 0", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 32 goroutines that
+// race series creation, increments, observations, and renders. Run
+// under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			labels := fmt.Sprintf(`worker="%d"`, g%4)
+			for i := 0; i < perG; i++ {
+				r.Counter("reqs_total", labels).Inc()
+				r.Add("adds_total", "", 1)
+				r.Observe("lat_seconds", labels, float64(i)/perG)
+				r.Gauge("inflight", "").Add(1)
+				r.Gauge("inflight", "").Add(-1)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total uint64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("reqs_total", fmt.Sprintf(`worker="%d"`, g)).Value()
+	}
+	if total != goroutines*perG {
+		t.Fatalf("reqs_total sum = %d, want %d", total, goroutines*perG)
+	}
+	if got := r.Counter("adds_total", "").Value(); got != goroutines*perG {
+		t.Fatalf("adds_total = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("inflight", "").Value(); got != 0 {
+		t.Fatalf("inflight = %g, want 0", got)
+	}
+	var count uint64
+	for g := 0; g < 4; g++ {
+		count += r.Histogram("lat_seconds", fmt.Sprintf(`worker="%d"`, g), nil).Count()
+	}
+	if count != goroutines*perG {
+		t.Fatalf("lat_seconds count = %d, want %d", count, goroutines*perG)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output:
+// families sorted by name, series by label string, cumulative buckets,
+// HELP escaping — a scrape of this registry must parse as version 0.0.4.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("test_requests_total", "Total requests.")
+	r.Counter("test_requests_total", `outcome="ok"`).Add(3)
+	r.Counter("test_requests_total", `outcome="error"`).Inc()
+	r.Gauge("test_inflight", "").Set(2.5)
+	h := r.Histogram("test_seconds", "", []float64{0.1, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := `# TYPE test_inflight gauge
+test_inflight 2.5
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{outcome="error"} 1
+test_requests_total{outcome="ok"} 3
+# TYPE test_seconds histogram
+test_seconds_bucket{le="0.1"} 1
+test_seconds_bucket{le="1"} 2
+test_seconds_bucket{le="+Inf"} 3
+test_seconds_sum 5.5625
+test_seconds_count 3
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if sb.String() != want {
+		t.Errorf("WritePrometheus output mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// Rendering twice must produce identical output (determinism).
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb.String() != sb2.String() {
+		t.Errorf("WritePrometheus is not deterministic")
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("m_total", "line one\nline \\ two")
+	r.Counter("m_total", "").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := "# HELP m_total line one\\nline \\\\ two\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped HELP %q not found in:\n%s", want, sb.String())
+	}
+}
+
+func TestSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", `k="v"`).Add(7)
+	r.Gauge("g", "").Set(1.5)
+	h := r.Histogram("h_seconds", "", nil)
+	h.Observe(2)
+	h.Observe(4)
+
+	snap := r.Snapshot()
+	if got := snap[`c_total{k="v"}`]; got != 7 {
+		t.Errorf(`c_total{k="v"} = %g, want 7`, got)
+	}
+	if got := snap["g"]; got != 1.5 {
+		t.Errorf("g = %g, want 1.5", got)
+	}
+	if got := snap["h_seconds_count"]; got != 2 {
+		t.Errorf("h_seconds_count = %g, want 2", got)
+	}
+	if got := snap["h_seconds_sum"]; got != 6 {
+		t.Errorf("h_seconds_sum = %g, want 6", got)
+	}
+	if got := snap["h_seconds_p50"]; got != 4 {
+		t.Errorf("h_seconds_p50 = %g, want 4 (s[int(0.5*2)])", got)
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", "", []float64{1, 2})
+	h2 := r.Histogram("h", "", []float64{10, 20, 30})
+	if h1 != h2 {
+		t.Fatalf("same (name, labels) returned distinct histograms")
+	}
+	if len(h1.bounds) != 2 {
+		t.Fatalf("bounds = %v, want the first registration's [1 2]", h1.bounds)
+	}
+}

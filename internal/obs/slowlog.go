@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogCapacity is the ring size used when NewSlowLog is given
+// a non-positive capacity.
+const DefaultSlowLogCapacity = 128
+
+// SlowLogSpan is one pipeline-stage timing of a slow query.
+type SlowLogSpan struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// SlowLogEntry is one captured slow query: its canonical form, a
+// one-line plan summary, the estimate it produced, and where the time
+// went.
+type SlowLogEntry struct {
+	Time       time.Time     `json:"time"`
+	Query      string        `json:"query"`
+	Plan       string        `json:"plan,omitempty"`
+	Estimate   float64       `json:"estimate"`
+	TotalNanos int64         `json:"total_nanos"`
+	Spans      []SlowLogSpan `json:"spans,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent queries
+// whose total latency met a threshold. A nil *SlowLog is a valid
+// disabled log: Record is a no-op and Snapshot returns nil.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []SlowLogEntry
+	next  uint64 // monotonically increasing write position
+	total uint64 // entries ever recorded
+}
+
+// NewSlowLog returns a log capturing entries with TotalNanos at or
+// above threshold, retaining the most recent capacity entries
+// (DefaultSlowLogCapacity when capacity <= 0). A non-positive threshold
+// returns nil: the disabled log.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultSlowLogCapacity
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowLogEntry, capacity)}
+}
+
+// Threshold returns the capture threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record captures the entry if it meets the threshold, reporting
+// whether it did. Entries below the threshold (and every entry, on a
+// disabled log) are dropped.
+func (l *SlowLog) Record(e SlowLogEntry) bool {
+	if l == nil || time.Duration(e.TotalNanos) < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next%uint64(len(l.ring))] = e
+	l.next++
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Total returns how many entries were ever recorded (including ones the
+// ring has since overwritten).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, most recent first.
+func (l *SlowLog) Snapshot() []SlowLogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if n > uint64(len(l.ring)) {
+		n = uint64(len(l.ring))
+	}
+	out := make([]SlowLogEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, l.ring[(l.next-1-i)%uint64(len(l.ring))])
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(query string, total time.Duration) SlowLogEntry {
+	return SlowLogEntry{Query: query, TotalNanos: total.Nanoseconds()}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if l := NewSlowLog(0, 16); l != nil {
+		t.Fatalf("NewSlowLog(0, _) = %v, want nil (disabled)", l)
+	}
+	var l *SlowLog
+	if l.Record(entry("q", time.Second)) {
+		t.Error("nil log recorded an entry")
+	}
+	if l.Snapshot() != nil {
+		t.Error("nil log Snapshot != nil")
+	}
+	if l.Total() != 0 || l.Threshold() != 0 {
+		t.Error("nil log has non-zero Total or Threshold")
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 8)
+	if l.Record(entry("fast", 9*time.Millisecond)) {
+		t.Error("recorded an entry below threshold")
+	}
+	if !l.Record(entry("slow", 10*time.Millisecond)) {
+		t.Error("dropped an entry at threshold")
+	}
+	if got := l.Total(); got != 1 {
+		t.Fatalf("Total = %d, want 1", got)
+	}
+	if got := l.Threshold(); got != 10*time.Millisecond {
+		t.Fatalf("Threshold = %v, want 10ms", got)
+	}
+}
+
+func TestSlowLogNewestFirstAndWrap(t *testing.T) {
+	l := NewSlowLog(time.Nanosecond, 4)
+	for i := 0; i < 6; i++ {
+		l.Record(entry(fmt.Sprintf("q%d", i), time.Duration(i+1)*time.Millisecond))
+	}
+	got := l.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot len = %d, want capacity 4", len(got))
+	}
+	for i, want := range []string{"q5", "q4", "q3", "q2"} {
+		if got[i].Query != want {
+			t.Errorf("Snapshot[%d].Query = %q, want %q (newest first)", i, got[i].Query, want)
+		}
+	}
+	if l.Total() != 6 {
+		t.Errorf("Total = %d, want 6 (counts overwritten entries)", l.Total())
+	}
+}
+
+func TestSlowLogDefaultCapacity(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 0)
+	for i := 0; i < DefaultSlowLogCapacity+10; i++ {
+		l.Record(entry("q", time.Second))
+	}
+	if got := len(l.Snapshot()); got != DefaultSlowLogCapacity {
+		t.Fatalf("Snapshot len = %d, want %d", got, DefaultSlowLogCapacity)
+	}
+}
+
+// TestSlowLogConcurrent races 32 writers against readers; run under
+// -race this is the slow log's thread-safety proof.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(time.Nanosecond, 32)
+	const goroutines = 32
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Record(entry(fmt.Sprintf("g%d-%d", g, i), time.Millisecond))
+				if i%50 == 0 {
+					if snap := l.Snapshot(); len(snap) > 32 {
+						t.Errorf("Snapshot len %d exceeds capacity", len(snap))
+					}
+					l.Total()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Total(); got != goroutines*perG {
+		t.Fatalf("Total = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(l.Snapshot()); got != 32 {
+		t.Fatalf("Snapshot len = %d, want full ring of 32", got)
+	}
+}

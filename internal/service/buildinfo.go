@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: module version, VCS
+// revision, and Go toolchain, read from the build metadata the Go
+// linker stamps into every binary (runtime/debug.ReadBuildInfo). It is
+// the body of GET /buildinfo and the output of xclusterd -version.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+// ReadBuildInfo reads the binary's build metadata. Fields missing from
+// the binary (e.g. VCS stamps in a `go test` binary) are left empty.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.VCSTime = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// String renders a one-line human-readable form for -version output.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	if b.Dirty {
+		rev += "+dirty"
+	}
+	version := b.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	return fmt.Sprintf("%s %s (%s) %s", b.Module, version, rev, b.GoVersion)
+}

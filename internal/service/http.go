@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"xcluster/internal/core"
+	"xcluster/internal/obs"
 	"xcluster/internal/query"
 )
 
@@ -22,18 +25,39 @@ type EstimateRequest struct {
 	// Plan asks for each query's compiled plan (the canonicalize →
 	// compile → execute pipeline's executable form, rendered).
 	Plan bool `json:"plan,omitempty"`
+	// Trace asks for each query's per-stage pipeline spans (parse,
+	// canonicalize, cache lookups, compile, execute).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TraceSpan is one timed pipeline stage of an answered query.
+type TraceSpan struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// TraceInfo is the inline pipeline trace of one answered query. The
+// span durations sum to at most TotalNanos (inter-stage bookkeeping is
+// not attributed to any stage).
+type TraceInfo struct {
+	TotalNanos     int64       `json:"total_nanos"`
+	ResultCacheHit bool        `json:"result_cache_hit"`
+	PlanCacheHit   bool        `json:"plan_cache_hit"`
+	Subproblems    int         `json:"subproblems,omitempty"`
+	Spans          []TraceSpan `json:"spans"`
 }
 
 // EstimateResult is one entry of an EstimateResponse, positional with the
 // request's Queries. Exactly one of Selectivity and Error is set; parse
 // failures additionally carry the byte offset of the failure.
 type EstimateResult struct {
-	Query       string   `json:"query"`
-	Selectivity *float64 `json:"selectivity,omitempty"`
-	Error       string   `json:"error,omitempty"`
-	Offset      *int     `json:"offset,omitempty"`
-	Explain     []string `json:"explain,omitempty"`
-	Plan        string   `json:"plan,omitempty"`
+	Query       string     `json:"query"`
+	Selectivity *float64   `json:"selectivity,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Offset      *int       `json:"offset,omitempty"`
+	Explain     []string   `json:"explain,omitempty"`
+	Plan        string     `json:"plan,omitempty"`
+	Trace       *TraceInfo `json:"trace,omitempty"`
 }
 
 // EstimateResponse is the body of a successful POST /estimate.
@@ -56,8 +80,10 @@ type StatsResponse struct {
 	PlanCacheLen      int     `json:"plan_cache_len"`
 	PlanCacheCapacity int     `json:"plan_cache_capacity"`
 	P50               string  `json:"p50"`
+	P95               string  `json:"p95"`
 	P99               string  `json:"p99"`
 	LatencySamples    int     `json:"latency_samples"`
+	SlowQueries       uint64  `json:"slow_queries"`
 	Uptime            string  `json:"uptime"`
 }
 
@@ -72,15 +98,29 @@ type SynopsisResponse struct {
 	TotalBytes  int `json:"total_bytes"`
 }
 
+// SlowLogResponse is the body of GET /debug/slowlog.
+type SlowLogResponse struct {
+	// ThresholdNanos is the capture threshold (0: log disabled).
+	ThresholdNanos int64 `json:"threshold_nanos"`
+	// Total counts entries ever captured, including ones the ring has
+	// since overwritten.
+	Total uint64 `json:"total"`
+	// Entries are the retained slow queries, most recent first.
+	Entries []obs.SlowLogEntry `json:"entries"`
+}
+
 // explainLimit caps the embeddings returned per query when Explain is set.
 const explainLimit = 5
 
 // Handler returns the service's HTTP API:
 //
-//	POST /estimate  {"queries":["//a[b>1]",...],"explain":false}
-//	GET  /stats     counters, cache hit rate, latency percentiles
-//	GET  /synopsis  size and composition of the served synopsis
-//	GET  /healthz   liveness probe
+//	POST /estimate       {"queries":["//a[b>1]",...],"explain":false,"trace":false}
+//	GET  /stats          counters, cache hit rates, latency percentiles
+//	GET  /metrics        the metrics registry in Prometheus text format
+//	GET  /debug/slowlog  the slow-query ring buffer, most recent first
+//	GET  /buildinfo      module version, VCS revision, Go version
+//	GET  /synopsis       size and composition of the served synopsis
+//	GET  /healthz        liveness probe
 //
 // Per-query failures (parse errors, unknown labels) are reported inline in
 // the results array; whole-request failures (malformed JSON, deadline
@@ -89,6 +129,9 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -111,11 +154,15 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	results := make([]EstimateResult, len(req.Queries))
-	var qs []*query.Query // parsed queries, in request order
-	var pos []int         // pos[j] = results index of qs[j]
+	var qs []*query.Query      // parsed queries, in request order
+	var pos []int              // pos[j] = results index of qs[j]
+	var parsed []time.Duration // parsed[j] = parse time of qs[j]
 	for i, qstr := range req.Queries {
 		results[i].Query = qstr
+		t0 := time.Now()
 		q, err := query.Parse(qstr)
+		d := time.Since(t0)
+		s.reg.Observe(core.MetricPipelineStageSeconds, `stage="`+core.StageParse+`"`, d.Seconds())
 		if err != nil {
 			results[i].Error = err.Error()
 			var perr *query.ParseError
@@ -127,9 +174,10 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		qs = append(qs, q)
 		pos = append(pos, i)
+		parsed = append(parsed, d)
 	}
 
-	sels, err := s.EstimateBatch(r.Context(), qs)
+	sels, traces, err := s.EstimateBatchTraced(r.Context(), qs)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -141,6 +189,9 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	for j, i := range pos {
 		v := sels[j]
 		results[i].Selectivity = &v
+		if req.Trace && traces[j] != nil {
+			results[i].Trace = renderTrace(parsed[j], traces[j])
+		}
 		if req.Explain {
 			results[i].Explain = s.Explain(qs[j], explainLimit)
 		}
@@ -154,6 +205,24 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{Results: results})
+}
+
+// renderTrace combines the HTTP layer's parse span with the core
+// pipeline trace into the wire form. The reported total covers parse
+// through execute, so the spans sum to at most the total.
+func renderTrace(parse time.Duration, tr *core.EstimateTrace) *TraceInfo {
+	ti := &TraceInfo{
+		TotalNanos:     (parse + tr.Total).Nanoseconds(),
+		ResultCacheHit: tr.ResultCacheHit,
+		PlanCacheHit:   tr.PlanCacheHit,
+		Subproblems:    tr.Subproblems,
+		Spans:          make([]TraceSpan, 0, len(tr.Spans)+1),
+	}
+	ti.Spans = append(ti.Spans, TraceSpan{Stage: core.StageParse, Nanos: parse.Nanoseconds()})
+	for _, sp := range tr.Spans {
+		ti.Spans = append(ti.Spans, TraceSpan{Stage: sp.Stage, Nanos: sp.Duration.Nanoseconds()})
+	}
+	return ti
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -172,10 +241,34 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheLen:      st.PlanCache.Len,
 		PlanCacheCapacity: st.PlanCache.Capacity,
 		P50:               st.P50.String(),
+		P95:               st.P95.String(),
 		P99:               st.P99.String(),
 		LatencySamples:    st.LatencySamples,
+		SlowQueries:       st.SlowQueries,
 		Uptime:            st.Uptime.String(),
 	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncRegistry()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // headers are out; nothing to do
+}
+
+func (s *Service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowLogEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		ThresholdNanos: s.slow.Threshold().Nanoseconds(),
+		Total:          s.slow.Total(),
+		Entries:        entries,
+	})
+}
+
+func (s *Service) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadBuildInfo())
 }
 
 func (s *Service) handleSynopsis(w http.ResponseWriter, r *http.Request) {

@@ -5,8 +5,12 @@
 //
 // A Service wraps a synopsis and a shared thread-safe Estimator and
 // offers batch estimation with a bounded worker pool, per-request
-// deadlines via context, and an observable Stats snapshot (queries
-// served, cache hit rate, latency percentiles from a ring buffer). The
+// deadlines via context, and full observability: every estimate runs
+// the traced canonicalize → compile → execute pipeline, emitting
+// per-stage latencies, cache outcomes, and request counters into an
+// internal/obs metrics registry (exported in Prometheus text format at
+// GET /metrics), recording queries above a threshold in a ring-buffer
+// slow-query log, and returning per-stage spans inline on request. The
 // HTTP layer in http.go exposes the same operations over JSON for
 // cmd/xclusterd.
 package service
@@ -15,12 +19,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xcluster/internal/core"
+	"xcluster/internal/obs"
 	"xcluster/internal/query"
 )
 
@@ -62,9 +66,21 @@ func WithUninformedSel(sel float64) Option {
 	return func(s *Service) { s.est.UninformedSel = sel }
 }
 
-// latWindow is the number of recent per-query latencies retained for
-// percentile reporting.
-const latWindow = 4096
+// WithRegistry makes the service emit into a caller-owned metrics
+// registry instead of creating its own (e.g. to share one registry
+// across a build pipeline and the serving path).
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Service) { s.reg = r }
+}
+
+// WithSlowQueryLog enables the slow-query log: estimates whose total
+// latency reaches threshold are captured (canonical query, plan
+// summary, stage timings, estimate) in a ring of the given capacity
+// (obs.DefaultSlowLogCapacity when <= 0). A non-positive threshold
+// leaves the log disabled.
+func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
+	return func(s *Service) { s.slow = obs.NewSlowLog(threshold, capacity) }
+}
 
 // Service is a concurrent estimation service over one immutable
 // synopsis. All methods are safe for concurrent use.
@@ -73,16 +89,25 @@ type Service struct {
 	est     *core.Estimator
 	workers int
 	timeout time.Duration
+	start   time.Time
 
-	served atomic.Uint64
-	failed atomic.Uint64
-	start  time.Time
+	// reg aggregates every metric the service and its estimator emit;
+	// slow is the optional slow-query ring (nil when disabled).
+	reg  *obs.Registry
+	slow *obs.SlowLog
 
-	// lat is a ring buffer of recent per-query latencies; idx is the
-	// next write position (monotonically increasing, wrapped on read).
-	latMu sync.Mutex
-	lat   [latWindow]time.Duration
-	idx   uint64
+	// Registry series the hot path holds directly (no per-event lookup).
+	served       *obs.Counter // xcluster_requests_total{outcome="ok"}
+	failed       *obs.Counter // xcluster_requests_total{outcome="error"}
+	reqHist      *obs.Histogram
+	batches      *obs.Counter
+	batchQueries *obs.Counter
+	slowTotal    *obs.Counter
+	inflight     *obs.Gauge
+
+	// inflightWG tracks in-flight Estimate/EstimateBatch calls so Drain
+	// can wait for them during graceful shutdown.
+	inflightWG sync.WaitGroup
 }
 
 // New returns a service over the synopsis. The service owns a shared
@@ -98,7 +123,61 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.wireMetrics()
 	return s
+}
+
+// wireMetrics registers help text, resolves the hot-path series, and
+// points the estimator's metric sink at the registry.
+func (s *Service) wireMetrics() {
+	r := s.reg
+	r.Help("xcluster_requests_total", "Estimate queries answered, by outcome.")
+	r.Help("xcluster_request_seconds", "End-to-end latency of successfully answered estimates.")
+	r.Help("xcluster_batches_total", "Estimate batches served.")
+	r.Help("xcluster_batch_queries_total", "Queries submitted across all batches.")
+	r.Help("xcluster_slow_queries_total", "Estimates captured by the slow-query log.")
+	r.Help("xcluster_inflight_estimates", "Estimates currently executing.")
+	r.Help("xcluster_estimator_cache_hits_total", "All-time estimator cache hits (matches /stats).")
+	r.Help("xcluster_estimator_cache_misses_total", "All-time estimator cache misses (matches /stats).")
+	r.Help("xcluster_estimator_cache_entries", "Current estimator cache occupancy.")
+	r.Help("xcluster_synopsis_bytes", "Size of the served synopsis by component.")
+	r.Help("xcluster_uptime_seconds", "Seconds since the service was created.")
+	r.Help(core.MetricPipelineStageSeconds, "Wall time per estimation pipeline stage.")
+	r.Help(core.MetricCacheLookupsTotal, "Estimate-pipeline cache lookups, by cache and outcome.")
+	r.Help(core.MetricBuildPhaseSeconds, "Synopsis build phase wall time.")
+	s.served = r.Counter("xcluster_requests_total", `outcome="ok"`)
+	s.failed = r.Counter("xcluster_requests_total", `outcome="error"`)
+	s.reqHist = r.Histogram("xcluster_request_seconds", "", nil)
+	s.batches = r.Counter("xcluster_batches_total", "")
+	s.batchQueries = r.Counter("xcluster_batch_queries_total", "")
+	s.slowTotal = r.Counter("xcluster_slow_queries_total", "")
+	s.inflight = r.Gauge("xcluster_inflight_estimates", "")
+	s.est.SetMetricSink(r)
+}
+
+// syncRegistry mirrors scrape-time state into the registry: the
+// estimator's authoritative cache counters (the same values /stats
+// reports, so the two views cannot disagree), cache occupancy, synopsis
+// size, and uptime. Called before every /metrics render.
+func (s *Service) syncRegistry() {
+	r := s.reg
+	for _, c := range []struct {
+		label string
+		stats core.CacheStats
+	}{
+		{`cache="result"`, s.est.CacheStats()},
+		{`cache="plan"`, s.est.PlanCacheStats()},
+	} {
+		r.Counter("xcluster_estimator_cache_hits_total", c.label).Store(c.stats.Hits)
+		r.Counter("xcluster_estimator_cache_misses_total", c.label).Store(c.stats.Misses)
+		r.Gauge("xcluster_estimator_cache_entries", c.label).Set(float64(c.stats.Len))
+	}
+	r.Gauge("xcluster_synopsis_bytes", `component="struct"`).Set(float64(s.syn.StructBytes()))
+	r.Gauge("xcluster_synopsis_bytes", `component="value"`).Set(float64(s.syn.ValueBytes()))
+	r.Gauge("xcluster_uptime_seconds", "").Set(time.Since(s.start).Seconds())
 }
 
 // Synopsis returns the served synopsis.
@@ -108,8 +187,23 @@ func (s *Service) Synopsis() *core.Synopsis { return s.syn }
 // access, e.g. Explain).
 func (s *Service) Estimator() *core.Estimator { return s.est }
 
+// Registry returns the service's metrics registry.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// SlowLog returns the slow-query log (nil when disabled).
+func (s *Service) SlowLog() *obs.SlowLog { return s.slow }
+
 // Estimate answers one query under the service's deadline.
 func (s *Service) Estimate(ctx context.Context, q *query.Query) (float64, error) {
+	v, _, err := s.EstimateTraced(ctx, q)
+	return v, err
+}
+
+// EstimateTraced answers one query under the service's deadline and
+// returns the per-stage pipeline trace alongside the estimate.
+func (s *Service) EstimateTraced(ctx context.Context, q *query.Query) (float64, *core.EstimateTrace, error) {
+	s.inflightWG.Add(1)
+	defer s.inflightWG.Done()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -118,17 +212,50 @@ func (s *Service) Estimate(ctx context.Context, q *query.Query) (float64, error)
 	return s.estimateOne(ctx, q)
 }
 
-// estimateOne runs one estimate, recording latency and counters.
-func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, error) {
+// estimateOne runs one traced estimate, recording latency, counters,
+// and — above the threshold — a slow-query log entry.
+func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, *core.EstimateTrace, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	t0 := time.Now()
-	v, err := s.est.SelectivityContext(ctx, q)
+	v, tr, err := s.est.SelectivityTraced(ctx, q)
 	if err != nil {
-		s.failed.Add(1)
-		return 0, err
+		s.failed.Inc()
+		return 0, tr, err
 	}
-	s.observe(time.Since(t0))
-	s.served.Add(1)
-	return v, nil
+	d := time.Since(t0)
+	s.reqHist.Observe(d.Seconds())
+	s.served.Inc()
+	s.recordSlow(q, tr, v, d)
+	return v, tr, nil
+}
+
+// recordSlow captures one answered estimate in the slow-query log when
+// its latency reaches the threshold. The plan summary is resolved
+// through the plan cache, so the extra cost is paid only by queries
+// already slow enough to log.
+func (s *Service) recordSlow(q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
+	if s.slow == nil || d < s.slow.Threshold() {
+		return
+	}
+	planSummary := ""
+	if pq, err := s.est.Prepare(q); err == nil {
+		planSummary = pq.PlanSummary()
+	}
+	spans := make([]obs.SlowLogSpan, len(tr.Spans))
+	for i, sp := range tr.Spans {
+		spans[i] = obs.SlowLogSpan{Stage: sp.Stage, Nanos: sp.Duration.Nanoseconds()}
+	}
+	if s.slow.Record(obs.SlowLogEntry{
+		Time:       time.Now(),
+		Query:      tr.Canonical,
+		Plan:       planSummary,
+		Estimate:   v,
+		TotalNanos: d.Nanoseconds(),
+		Spans:      spans,
+	}) {
+		s.slowTotal.Inc()
+	}
 }
 
 // EstimateBatch answers a batch of queries with a worker pool of up to
@@ -142,17 +269,30 @@ func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, err
 // workers never compile the same shape twice); the workers then execute
 // through the estimator's plan and result caches.
 func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
+	out, _, err := s.EstimateBatchTraced(ctx, qs)
+	return out, err
+}
+
+// EstimateBatchTraced is EstimateBatch returning, additionally, the
+// positional per-stage pipeline traces (trace entries for queries the
+// batch never reached are nil).
+func (s *Service) EstimateBatchTraced(ctx context.Context, qs []*query.Query) ([]float64, []*core.EstimateTrace, error) {
+	s.inflightWG.Add(1)
+	defer s.inflightWG.Done()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
 	out := make([]float64, len(qs))
+	trs := make([]*core.EstimateTrace, len(qs))
 	if len(qs) == 0 {
-		return out, nil
+		return out, trs, nil
 	}
+	s.batches.Inc()
+	s.batchQueries.Add(uint64(len(qs)))
 	if err := s.prepareShapes(qs); err != nil {
-		return out, err
+		return out, trs, err
 	}
 	workers := s.workers
 	if workers > len(qs) {
@@ -160,13 +300,14 @@ func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float
 	}
 	if workers <= 1 {
 		for i, q := range qs {
-			v, err := s.estimateOne(ctx, q)
+			v, tr, err := s.estimateOne(ctx, q)
+			trs[i] = tr
 			if err != nil {
-				return out, fmt.Errorf("service: query %d: %w", i, err)
+				return out, trs, fmt.Errorf("service: query %d: %w", i, err)
 			}
 			out[i] = v
 		}
-		return out, nil
+		return out, trs, nil
 	}
 	var (
 		next     atomic.Int64
@@ -184,7 +325,8 @@ func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float
 				if i >= len(qs) || stop.Load() {
 					return
 				}
-				v, err := s.estimateOne(ctx, qs[i])
+				v, tr, err := s.estimateOne(ctx, qs[i])
+				trs[i] = tr
 				if err != nil {
 					errMu.Lock()
 					if batchErr == nil {
@@ -199,7 +341,7 @@ func (s *Service) EstimateBatch(ctx context.Context, qs []*query.Query) ([]float
 		}()
 	}
 	wg.Wait()
-	return out, batchErr
+	return out, trs, batchErr
 }
 
 // prepareShapes compiles each distinct query shape in the batch once,
@@ -221,6 +363,25 @@ func (s *Service) prepareShapes(qs []*query.Query) error {
 		}
 	}
 	return nil
+}
+
+// Drain blocks until every in-flight Estimate and EstimateBatch call
+// has returned, or until ctx ends (returning its error). Call it during
+// graceful shutdown after the listener has stopped accepting requests;
+// work submitted concurrently with Drain is not guaranteed to be
+// waited for.
+func (s *Service) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflightWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ExplainPlan compiles one query and renders its compiled plan: the
@@ -245,14 +406,6 @@ func (s *Service) Explain(q *query.Query, limit int) []string {
 	return out
 }
 
-// observe records one latency sample in the ring buffer.
-func (s *Service) observe(d time.Duration) {
-	s.latMu.Lock()
-	s.lat[s.idx%latWindow] = d
-	s.idx++
-	s.latMu.Unlock()
-}
-
 // Stats is a point-in-time snapshot of the service.
 type Stats struct {
 	// Served counts successfully answered queries; Failed counts
@@ -263,38 +416,37 @@ type Stats struct {
 	// PlanCache is the shared estimator's compiled-plan cache snapshot;
 	// its Misses count how many query shapes were compiled.
 	PlanCache core.CacheStats
-	// P50 and P99 are latency percentiles over the last LatencySamples
-	// answered queries.
-	P50, P99 time.Duration
-	// LatencySamples is the number of samples behind P50/P99 (at most
-	// the ring-buffer window).
+	// P50, P95 and P99 are latency percentiles over the last
+	// LatencySamples answered queries, read from the same shared
+	// histogram /metrics exports (the two views cannot disagree).
+	P50, P95, P99 time.Duration
+	// LatencySamples is the number of samples behind the percentiles
+	// (at most the histogram's retained window).
 	LatencySamples int
+	// SlowQueries counts estimates captured by the slow-query log.
+	SlowQueries uint64
 	// Uptime is the time since New.
 	Uptime time.Duration
 }
 
 // Stats snapshots the counters, cache state, and latency percentiles.
 func (s *Service) Stats() Stats {
-	s.latMu.Lock()
-	n := int(s.idx)
-	if n > latWindow {
-		n = latWindow
-	}
-	samples := make([]time.Duration, n)
-	copy(samples, s.lat[:n])
-	s.latMu.Unlock()
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	st := Stats{
-		Served:         s.served.Load(),
-		Failed:         s.failed.Load(),
+	snap := s.reqHist.Snapshot()
+	return Stats{
+		Served:         s.served.Value(),
+		Failed:         s.failed.Value(),
 		Cache:          s.est.CacheStats(),
 		PlanCache:      s.est.PlanCacheStats(),
-		LatencySamples: n,
+		P50:            secondsDuration(snap.P50),
+		P95:            secondsDuration(snap.P95),
+		P99:            secondsDuration(snap.P99),
+		LatencySamples: snap.Samples,
+		SlowQueries:    s.slow.Total(),
 		Uptime:         time.Since(s.start),
 	}
-	if n > 0 {
-		st.P50 = samples[n/2]
-		st.P99 = samples[(n*99)/100]
-	}
-	return st
+}
+
+// secondsDuration converts a seconds float into a Duration.
+func secondsDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
 }
