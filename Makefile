@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench
+.PHONY: check build test bench bench-json
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -20,3 +20,9 @@ test:
 # Estimation micro-benchmarks (cold vs prepared vs cache-hit vs parallel).
 bench:
 	$(GO) test -run xxx -bench 'Estimate(|Cold|CacheHit|Parallel)$$|Prepared$$' -benchmem .
+
+# Machine-readable benchmark: the prepared-execution experiment (with
+# the embedded per-class accuracy report) as JSON at the repo root.
+bench-json:
+	$(GO) run ./cmd/xclusterbench -experiment prepared > BENCH_prepared.json
+	@echo "wrote BENCH_prepared.json"

@@ -17,3 +17,8 @@ go vet ./...
 go build ./...
 go test -short -race ./...
 go test ./...
+
+# Machine-readable benchmark artifact: the prepared-execution
+# experiment (performance + per-class accuracy) as JSON at the repo
+# root, kept for comparison across revisions.
+make bench-json

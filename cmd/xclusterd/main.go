@@ -10,9 +10,12 @@
 //
 //	curl -s localhost:8080/estimate -d '{"queries":["//paper[year>2000]/title"]}'
 //	curl -s localhost:8080/estimate -d '{"queries":["//paper/title"],"trace":true}'
+//	curl -s localhost:8080/feedback -d '{"feedback":[{"query":"//paper/title","true":42}]}'
 //	curl -s localhost:8080/metrics        # Prometheus text format
 //	curl -s localhost:8080/stats          # JSON counters + percentiles
-//	curl -s localhost:8080/debug/slowlog  # slow-query ring buffer
+//	curl -s localhost:8080/debug/slowlog  # slow-query ring buffer (?limit=N)
+//	curl -s localhost:8080/debug/accuracy # per-class estimation error + drift flags
+//	curl -s localhost:8080/debug/synopsis # cluster cardinalities + budget split (?limit=N)
 //	curl -s localhost:8080/buildinfo
 //	curl -s localhost:8080/synopsis
 //
@@ -22,6 +25,16 @@
 // per-stage latencies aggregate into /metrics histograms, queries
 // slower than -slowquery land in /debug/slowlog, and "trace":true
 // returns the spans inline.
+//
+// With -doc the daemon keeps the source document resident and
+// shadow-samples a -shadow-rate fraction of estimates: sampled queries
+// are re-run through the exact evaluator on background workers
+// (bounded by -shadow-workers and -shadow-deadline, never on the
+// serving path) and the estimate/truth pairs feed per-predicate-class
+// error histograms in /metrics and /debug/accuracy. A class whose
+// recent error drifts beyond its history logs a warning. Deployments
+// without a resident document can push observed exact result sizes to
+// POST /feedback instead.
 //
 // Logs are structured JSON on stderr (log/slog). -pprof-addr serves
 // net/http/pprof on a separate listener for profiling. The server
@@ -44,6 +57,7 @@ import (
 	"time"
 
 	"xcluster"
+	"xcluster/internal/accuracy"
 	"xcluster/internal/service"
 )
 
@@ -61,6 +75,10 @@ func main() {
 		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		version  = flag.Bool("version", false, "print build info and exit")
+		docPath  = flag.String("doc", "", "source XML document for shadow exact evaluation (enables -shadow-rate)")
+		shadowR  = flag.Float64("shadow-rate", 0, "fraction of estimates to shadow-verify against -doc (0 disables, 1 samples all)")
+		shadowW  = flag.Int("shadow-workers", 0, "shadow evaluation worker goroutines (default 1)")
+		shadowD  = flag.Duration("shadow-deadline", 0, "per-query shadow evaluation deadline (default 2s)")
 	)
 	flag.Parse()
 	if *version {
@@ -97,6 +115,14 @@ func main() {
 	opts := []service.Option{
 		service.WithTimeout(*timeout),
 		service.WithSlowQueryLog(*slowQ, *slowCap),
+		service.WithAccuracy(accuracy.WithOnDrift(func(ev accuracy.DriftEvent) {
+			logger.Warn("accuracy drift",
+				"class", ev.Class.String(),
+				"recent_avg_rel_error", ev.Recent,
+				"baseline_avg_rel_error", ev.Baseline,
+				"ratio", ev.Ratio,
+			)
+		})),
 	}
 	if *workers > 0 {
 		opts = append(opts, service.WithWorkers(*workers))
@@ -107,7 +133,27 @@ func main() {
 	if *planCap != 0 {
 		opts = append(opts, service.WithPlanCacheCapacity(*planCap))
 	}
+	if *shadowR > 0 && *docPath == "" {
+		fmt.Fprintln(os.Stderr, "xclusterd: -shadow-rate requires -doc (the document to evaluate exactly)")
+		os.Exit(2)
+	}
+	if *docPath != "" {
+		df, err := os.Open(*docPath)
+		if err != nil {
+			fatal("opening document", err)
+		}
+		tree, err := xcluster.ParseXML(df)
+		df.Close()
+		if err != nil {
+			fatal("parsing document", err)
+		}
+		opts = append(opts, service.WithDocument(tree))
+		if *shadowR > 0 {
+			opts = append(opts, service.WithShadowSampling(*shadowR, *shadowW, *shadowD))
+		}
+	}
 	svc := service.New(syn, opts...)
+	defer svc.Close()
 
 	bi := service.ReadBuildInfo()
 	st := xcluster.SynopsisStats(syn)
@@ -115,6 +161,7 @@ func main() {
 		"addr", *addr,
 		"synopsis", st.String(),
 		"slowquery_threshold", slowQ.String(),
+		"shadow_rate", *shadowR,
 		"go_version", bi.GoVersion,
 		"vcs_revision", bi.Revision,
 	)

@@ -1,0 +1,49 @@
+package accuracy
+
+import (
+	"testing"
+
+	"xcluster/internal/query"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		q    string
+		want Class
+	}{
+		{"//book", Struct},
+		{"//book/title", Struct},
+		{"/library//book[year]/title", Struct}, // existence predicate is structural
+		{"//book[year>1990]", Range},
+		{"//book[year range(1960,1975)]", Range},
+		{"//book[pages<=250]/title", Range},
+		{"//book[title contains(Tree)]", Substring},
+		{"//book[summary ftcontains(xml,synopsis)]", FTContains},
+		{"//book[summary ftsim(2,xml,synopsis)]", FTSim},
+		// The first predicate in preorder decides, however deep it sits.
+		{"//library/book/title[contains(Tree)]", Substring},
+		{"//book[year>1990][summary ftcontains(xml)]", Range},
+	}
+	for _, c := range cases {
+		q, err := query.Parse(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if got := Classify(q); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := []string{"struct", "range", "substring", "ftcontains", "ftsim"}
+	cs := Classes()
+	if len(cs) != int(NumClasses) || len(cs) != len(want) {
+		t.Fatalf("Classes() = %v, want %d classes", cs, NumClasses)
+	}
+	for i, c := range cs {
+		if c.String() != want[i] {
+			t.Errorf("class %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}

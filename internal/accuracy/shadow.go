@@ -1,0 +1,231 @@
+package accuracy
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xcluster/internal/query"
+)
+
+// TruthFunc computes the exact selectivity of a query (typically
+// query.Evaluator.Selectivity over a resident document). It must honor
+// ctx: a deadline or cancellation error is reported as a dropped
+// shadow sample, never as a serving failure.
+type TruthFunc func(ctx context.Context, q *query.Query) (float64, error)
+
+// Shadow defaults.
+const (
+	// DefaultShadowWorkers is the worker-pool size when none is given.
+	DefaultShadowWorkers = 1
+	// DefaultShadowDeadline bounds one exact evaluation, measured from
+	// enqueue (queue wait counts against it).
+	DefaultShadowDeadline = 2 * time.Second
+	// DefaultShadowQueue is the pending-job buffer; offers beyond it
+	// are dropped, never blocked on.
+	DefaultShadowQueue = 256
+)
+
+// shadowUnit is the fixed-point denominator of the sampling
+// accumulator: one sample fires per unit crossed.
+const shadowUnit = 1 << 20
+
+// ShadowStats is a point-in-time readout of the sampler.
+type ShadowStats struct {
+	// Rate is the configured sampling fraction; Workers the pool size;
+	// DeadlineNanos the per-evaluation deadline.
+	Rate          float64 `json:"rate"`
+	Workers       int     `json:"workers"`
+	DeadlineNanos int64   `json:"deadline_nanos"`
+	// Offered counts estimates presented to the sampler; Sampled the
+	// ones selected for shadow evaluation.
+	Offered uint64 `json:"offered"`
+	Sampled uint64 `json:"sampled"`
+	// Observed counts evaluations that completed and reached the
+	// monitor.
+	Observed uint64 `json:"observed"`
+	// QueueDrops, DeadlineDrops and ErrorDrops count sampled estimates
+	// lost to a full queue, an expired deadline, and evaluator errors.
+	QueueDrops    uint64 `json:"queue_drops"`
+	DeadlineDrops uint64 `json:"deadline_drops"`
+	ErrorDrops    uint64 `json:"error_drops"`
+}
+
+// shadowJob pairs one served estimate with its query for exact
+// re-evaluation.
+type shadowJob struct {
+	q   *query.Query
+	est float64
+	enq time.Time
+}
+
+// Shadow re-runs a sampled fraction of served estimates through an
+// exact evaluator on a fixed worker pool and feeds the estimate/truth
+// pairs into a Monitor. Offer never blocks and never fails the caller:
+// overload and deadline expiry surface only as drop counters.
+type Shadow struct {
+	mon      *Monitor
+	truth    TruthFunc
+	rate     float64
+	stride   uint64
+	deadline time.Duration
+	workers  int
+
+	acc      atomic.Uint64 // fixed-point sampling accumulator
+	offered  atomic.Uint64
+	sampled  atomic.Uint64
+	observed atomic.Uint64
+	queueD   atomic.Uint64
+	deadD    atomic.Uint64
+	errD     atomic.Uint64
+
+	mu     sync.RWMutex // guards closed vs. queue close
+	closed bool
+	queue  chan shadowJob
+	jobs   sync.WaitGroup // in-flight sampled jobs, for Drain
+	wg     sync.WaitGroup // worker goroutines
+}
+
+// NewShadow starts a sampler feeding mon through truth. rate is
+// clamped to [0, 1]; workers, deadline, and queueCap fall back to the
+// defaults when non-positive. The workers run until Close.
+func NewShadow(mon *Monitor, truth TruthFunc, rate float64, workers int, deadline time.Duration, queueCap int) *Shadow {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if workers <= 0 {
+		workers = DefaultShadowWorkers
+	}
+	if deadline <= 0 {
+		deadline = DefaultShadowDeadline
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultShadowQueue
+	}
+	s := &Shadow{
+		mon:      mon,
+		truth:    truth,
+		rate:     rate,
+		stride:   uint64(rate * shadowUnit),
+		deadline: deadline,
+		workers:  workers,
+		queue:    make(chan shadowJob, queueCap),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Monitor returns the monitor the sampler feeds.
+func (s *Shadow) Monitor() *Monitor { return s.mon }
+
+// Offer presents one served estimate for shadow evaluation and reports
+// whether it was sampled and enqueued. It never blocks: unsampled
+// estimates, a full queue, and a closed sampler all return false
+// immediately.
+func (s *Shadow) Offer(q *query.Query, est float64) bool {
+	s.offered.Add(1)
+	if s.stride == 0 {
+		return false
+	}
+	// Deterministic fixed-point sampling: each Offer advances the
+	// accumulator by rate; crossing a unit boundary selects the sample.
+	// Lock-free and exact in aggregate (n offers yield ~n*rate samples;
+	// every offer at rate 1).
+	after := s.acc.Add(s.stride)
+	if after/shadowUnit == (after-s.stride)/shadowUnit {
+		return false
+	}
+	s.sampled.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.queueD.Add(1)
+		return false
+	}
+	s.jobs.Add(1)
+	select {
+	case s.queue <- shadowJob{q: q, est: est, enq: time.Now()}:
+		return true
+	default:
+		s.jobs.Done()
+		s.queueD.Add(1)
+		return false
+	}
+}
+
+// worker drains the queue, evaluating each job under the deadline
+// (measured from enqueue, so queue wait counts) and feeding completed
+// pairs into the monitor.
+func (s *Shadow) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		ctx, cancel := context.WithDeadline(context.Background(), job.enq.Add(s.deadline))
+		truth, err := s.truth(ctx, job.q)
+		expired := ctx.Err() != nil // read before cancel poisons it
+		cancel()
+		switch {
+		case err == nil:
+			s.mon.Observe(job.q, job.est, truth)
+			s.observed.Add(1)
+		case expired || errors.Is(err, context.DeadlineExceeded):
+			s.deadD.Add(1)
+		default:
+			s.errD.Add(1)
+		}
+		s.jobs.Done()
+	}
+}
+
+// Drain blocks until every sampled job enqueued before the call has
+// been evaluated or dropped, or until ctx ends (returning its error).
+func (s *Shadow) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting new samples, processes the queued ones, and
+// waits for the workers to exit. Safe to call once; Offer after Close
+// counts a queue drop.
+func (s *Shadow) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the sampler's counters.
+func (s *Shadow) Stats() ShadowStats {
+	return ShadowStats{
+		Rate:          s.rate,
+		Workers:       s.workers,
+		DeadlineNanos: s.deadline.Nanoseconds(),
+		Offered:       s.offered.Load(),
+		Sampled:       s.sampled.Load(),
+		Observed:      s.observed.Load(),
+		QueueDrops:    s.queueD.Load(),
+		DeadlineDrops: s.deadD.Load(),
+		ErrorDrops:    s.errD.Load(),
+	}
+}

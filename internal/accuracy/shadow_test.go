@@ -1,0 +1,183 @@
+package accuracy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"xcluster/internal/query"
+)
+
+// instantTruth answers every query with a fixed exact count.
+func instantTruth(v float64) TruthFunc {
+	return func(ctx context.Context, q *query.Query) (float64, error) { return v, nil }
+}
+
+func TestShadowRateOneObservesAll(t *testing.T) {
+	mon := NewMonitor()
+	sh := NewShadow(mon, instantTruth(100), 1, 2, time.Second, 0)
+	q := query.MustParse("//book/title")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if !sh.Offer(q, 90) {
+			t.Fatalf("offer %d not sampled at rate 1", i)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := sh.Stats()
+	if st.Offered != n || st.Sampled != n || st.Observed != n {
+		t.Fatalf("stats = %+v, want everything sampled and observed", st)
+	}
+	if st.QueueDrops+st.DeadlineDrops+st.ErrorDrops != 0 {
+		t.Fatalf("drops on an instant evaluator: %+v", st)
+	}
+	rep := mon.Report()
+	if rep.Samples != n {
+		t.Fatalf("monitor samples = %d, want %d", rep.Samples, n)
+	}
+	// est 90 vs truth 100 is 0.1 relative error (up to summation
+	// rounding across n samples).
+	if math.Abs(rep.AvgRelError-0.1) > 1e-12 {
+		t.Fatalf("avg = %g, want 0.1", rep.AvgRelError)
+	}
+	sh.Close()
+}
+
+// TestShadowSamplingRateDeterministic: the fixed-point accumulator
+// samples exactly rate*n of n offers (no randomness).
+func TestShadowSamplingRateDeterministic(t *testing.T) {
+	sh := NewShadow(NewMonitor(), instantTruth(1), 0.25, 1, time.Second, 0)
+	defer sh.Close()
+	q := query.MustParse("//book")
+	for i := 0; i < 1000; i++ {
+		sh.Offer(q, 1)
+	}
+	if st := sh.Stats(); st.Sampled != 250 {
+		t.Fatalf("sampled = %d of 1000 at rate 0.25, want exactly 250", st.Sampled)
+	}
+
+	// Rate 0 samples nothing.
+	off := NewShadow(NewMonitor(), instantTruth(1), 0, 1, time.Second, 0)
+	defer off.Close()
+	for i := 0; i < 100; i++ {
+		if off.Offer(q, 1) {
+			t.Fatal("rate 0 sampled an offer")
+		}
+	}
+	if st := off.Stats(); st.Sampled != 0 || st.Offered != 100 {
+		t.Fatalf("rate-0 stats = %+v", st)
+	}
+}
+
+// TestShadowConcurrentOffers hammers one sampler from 32 goroutines.
+// Run under -race this is the sampler's thread-safety proof; the
+// deterministic accumulator still samples every offer at rate 1.
+func TestShadowConcurrentOffers(t *testing.T) {
+	mon := NewMonitor()
+	sh := NewShadow(mon, instantTruth(100), 1, 4, 5*time.Second, 0)
+	const goroutines = 32
+	const perG = 100
+	qs := make([]*query.Query, goroutines)
+	for g := range qs {
+		qs[g] = query.MustParse(fmt.Sprintf("//book[year>%d]", 1900+g))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sh.Offer(qs[g], 50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sh.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	sh.Close()
+
+	st := sh.Stats()
+	const total = goroutines * perG
+	if st.Offered != total || st.Sampled != total {
+		t.Fatalf("stats = %+v, want %d offered and sampled", st, total)
+	}
+	// Every sample is accounted for: observed or counted as a drop.
+	if st.Observed+st.QueueDrops+st.DeadlineDrops+st.ErrorDrops != total {
+		t.Fatalf("samples leak: %+v does not sum to %d", st, total)
+	}
+	if rep := mon.Report(); rep.Samples != st.Observed {
+		t.Fatalf("monitor samples = %d, sampler observed %d", rep.Samples, st.Observed)
+	}
+}
+
+// TestShadowDeadlineDrop: a ground-truth evaluation that outlives the
+// deadline increments the drop counter and never reaches the monitor —
+// and the Offer that enqueued it succeeded immediately, so the serving
+// path never noticed.
+func TestShadowDeadlineDrop(t *testing.T) {
+	mon := NewMonitor()
+	blocking := func(ctx context.Context, q *query.Query) (float64, error) {
+		<-ctx.Done() // honor the deadline the way the exact evaluator does
+		return 0, ctx.Err()
+	}
+	sh := NewShadow(mon, blocking, 1, 1, 10*time.Millisecond, 0)
+	q := query.MustParse("//book")
+	if !sh.Offer(q, 7) {
+		t.Fatal("offer not sampled")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	sh.Close()
+	st := sh.Stats()
+	if st.DeadlineDrops != 1 || st.Observed != 0 {
+		t.Fatalf("stats = %+v, want 1 deadline drop and 0 observed", st)
+	}
+	if rep := mon.Report(); rep.Samples != 0 {
+		t.Fatalf("dropped sample reached the monitor: %+v", rep)
+	}
+}
+
+// TestShadowErrorDrop: evaluator failures are error drops, not deadline
+// drops.
+func TestShadowErrorDrop(t *testing.T) {
+	failing := func(ctx context.Context, q *query.Query) (float64, error) {
+		return 0, errors.New("no such label")
+	}
+	sh := NewShadow(NewMonitor(), failing, 1, 1, time.Second, 0)
+	sh.Offer(query.MustParse("//book"), 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sh.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	sh.Close()
+	if st := sh.Stats(); st.ErrorDrops != 1 || st.DeadlineDrops != 0 {
+		t.Fatalf("stats = %+v, want 1 error drop", st)
+	}
+}
+
+func TestShadowOfferAfterClose(t *testing.T) {
+	sh := NewShadow(NewMonitor(), instantTruth(1), 1, 1, time.Second, 0)
+	sh.Close()
+	sh.Close() // idempotent
+	if sh.Offer(query.MustParse("//book"), 1) {
+		t.Fatal("Offer succeeded after Close")
+	}
+	if st := sh.Stats(); st.QueueDrops != 1 {
+		t.Fatalf("stats = %+v, want the post-close offer counted as a queue drop", st)
+	}
+}

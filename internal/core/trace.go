@@ -46,6 +46,11 @@ type EstimateTrace struct {
 	// Subproblems is the executed plan's size (0 on a result-cache hit:
 	// no plan was consulted).
 	Subproblems int
+	// Estimate is the selectivity the pipeline produced (0 on error).
+	// Carrying it in the trace makes the trace a self-contained record
+	// of one estimate, so accuracy monitoring can pair it with ground
+	// truth later without re-running the pipeline.
+	Estimate float64
 }
 
 // add appends one stage timing.
@@ -82,6 +87,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 		tr.add(StageResultCache, time.Since(ts))
 		if ok {
 			tr.ResultCacheHit = true
+			tr.Estimate = v
 			tr.Total = time.Since(t0)
 			e.emit(tr)
 			return v, tr, nil
@@ -125,6 +131,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 	if e.cache != nil {
 		e.cache.put(key, total)
 	}
+	tr.Estimate = total
 	tr.Total = time.Since(t0)
 	e.emit(tr)
 	return total, tr, nil

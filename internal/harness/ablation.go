@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/histogram"
 	"xcluster/internal/pst"
@@ -194,12 +195,16 @@ func AblationPSTPruning(d *Dataset, fracs []float64, seed int64) []AblationPSTRo
 	// is designed to avoid — registers here, where absolute error would
 	// drown it under the frequent substrings.
 	floor := 1 / float64(len(strs))
+	truths := make([]float64, len(probes))
+	for i, p := range probes {
+		truths[i] = p.sel
+	}
 	score := func(t *pst.Tree) float64 {
-		total := 0.0
-		for _, p := range probes {
-			total += math.Abs(p.sel-t.Selectivity(p.qs)) / math.Max(p.sel, floor)
+		ests := make([]float64, len(probes))
+		for i, p := range probes {
+			ests[i] = t.Selectivity(p.qs)
 		}
-		return total / float64(len(probes))
+		return accuracy.Avg(truths, ests, floor)
 	}
 
 	var rows []AblationPSTRow
@@ -266,12 +271,16 @@ func AblationNumericSummaries(d *Dataset, budgets []int, seed int64) []AblationN
 		probes = append(probes, probe{lo: a, hi: b, sel: float64(cnt) / float64(len(values))})
 	}
 	floor := 1 / float64(len(values))
+	truths := make([]float64, len(probes))
+	for i, p := range probes {
+		truths[i] = p.sel
+	}
 	score := func(sel func(lo, hi int) float64) float64 {
-		total := 0.0
-		for _, p := range probes {
-			total += math.Abs(p.sel-sel(p.lo, p.hi)) / math.Max(p.sel, floor)
+		ests := make([]float64, len(probes))
+		for i, p := range probes {
+			ests[i] = sel(p.lo, p.hi)
 		}
-		return total / float64(len(probes))
+		return accuracy.Avg(truths, ests, floor)
 	}
 	fit := func(s vsum.Summary, budget int) vsum.Summary {
 		for s.SizeBytes() > budget {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
 	"xcluster/internal/query"
@@ -37,6 +38,10 @@ type PreparedRow struct {
 	// synopsis build-phase timings and pipeline-stage histograms
 	// (count/sum/percentiles per series), keyed by Prometheus series name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Accuracy is the per-predicate-class estimation-error report of the
+	// workload against the built synopsis: the same aggregation the
+	// serving layer exposes at /debug/accuracy, computed offline.
+	Accuracy *accuracy.Report `json:"accuracy,omitempty"`
 }
 
 // PreparedExperiment measures the compile-once/execute-many win of the
@@ -116,6 +121,15 @@ func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) 
 		}
 	}
 
+	// Accuracy snapshot: feed each workload query's estimate/truth pair
+	// through the same monitor the serving layer uses, with the
+	// workload's sanity bound, so the row embeds the per-class error
+	// report alongside the performance numbers.
+	mon := accuracy.NewMonitor(accuracy.WithSanity(d.Workload.SanityBound()))
+	for i, q := range qs {
+		mon.Observe(q, want[i], d.Workload.Queries[i].True)
+	}
+
 	row := PreparedRow{
 		Dataset:         d.Name,
 		Queries:         len(qs),
@@ -129,6 +143,8 @@ func PreparedExperiment(d *Dataset, cfg Config, iters int) (PreparedRow, error) 
 		row.Speedup = row.ColdNsPerOp / row.PreparedNsPerOp
 	}
 	row.Metrics = reg.Snapshot()
+	rep := mon.Report()
+	row.Accuracy = &rep
 	return row, nil
 }
 

@@ -17,12 +17,14 @@ type SlowLogSpan struct {
 
 // SlowLogEntry is one captured slow query: its canonical form, a
 // one-line plan summary, the estimate it produced, and where the time
-// went.
+// went. Total is the human-readable rendering of TotalNanos; Record
+// fills it when the caller leaves it empty.
 type SlowLogEntry struct {
 	Time       time.Time     `json:"time"`
 	Query      string        `json:"query"`
 	Plan       string        `json:"plan,omitempty"`
 	Estimate   float64       `json:"estimate"`
+	Total      string        `json:"total"`
 	TotalNanos int64         `json:"total_nanos"`
 	Spans      []SlowLogSpan `json:"spans,omitempty"`
 }
@@ -67,6 +69,9 @@ func (l *SlowLog) Threshold() time.Duration {
 func (l *SlowLog) Record(e SlowLogEntry) bool {
 	if l == nil || time.Duration(e.TotalNanos) < l.threshold {
 		return false
+	}
+	if e.Total == "" {
+		e.Total = time.Duration(e.TotalNanos).String()
 	}
 	l.mu.Lock()
 	l.ring[l.next%uint64(len(l.ring))] = e

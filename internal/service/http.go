@@ -6,11 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
+	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
 	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
 )
 
 // maxRequestBytes bounds the size of a POST /estimate body.
@@ -105,8 +109,92 @@ type SlowLogResponse struct {
 	// Total counts entries ever captured, including ones the ring has
 	// since overwritten.
 	Total uint64 `json:"total"`
-	// Entries are the retained slow queries, most recent first.
+	// Entries are the retained slow queries, most recent first (capped
+	// by the request's ?limit=N).
 	Entries []obs.SlowLogEntry `json:"entries"`
+}
+
+// FeedbackEntry is one pushed ground-truth observation: a query and
+// the exact result size the deployment measured for it.
+type FeedbackEntry struct {
+	Query string  `json:"query"`
+	True  float64 `json:"true"`
+}
+
+// FeedbackRequest is the body of POST /feedback, for deployments that
+// do not keep the document resident: the query processor reports exact
+// result sizes it observed, and the service pairs them with its own
+// estimates to feed the accuracy monitor.
+type FeedbackRequest struct {
+	Feedback []FeedbackEntry `json:"feedback"`
+}
+
+// FeedbackResult is one entry of a FeedbackResponse, positional with
+// the request. Exactly one of Class and Error is set.
+type FeedbackResult struct {
+	Query    string  `json:"query"`
+	Class    string  `json:"class,omitempty"`
+	Estimate float64 `json:"estimate,omitempty"`
+	RelError float64 `json:"rel_error,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// FeedbackResponse is the body of a successful POST /feedback.
+type FeedbackResponse struct {
+	Accepted int              `json:"accepted"`
+	Results  []FeedbackResult `json:"results"`
+}
+
+// AccuracyResponse is the body of GET /debug/accuracy: the monitor's
+// per-class error report plus, when shadow sampling is on, the
+// sampler's counters.
+type AccuracyResponse struct {
+	accuracy.Report
+	Shadow *accuracy.ShadowStats `json:"shadow,omitempty"`
+}
+
+// SynopsisCluster is one cluster row of GET /debug/synopsis.
+type SynopsisCluster struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+	Path  string `json:"path,omitempty"`
+	// Count is the cluster cardinality |extent(u)|.
+	Count float64 `json:"count"`
+	// Children is the out-degree (distinct child clusters).
+	Children int `json:"children"`
+	// Summary and SummaryBytes describe the value summary ("histogram",
+	// "pst", or "termhist"; absent on structure-only clusters).
+	Summary      string `json:"summary,omitempty"`
+	SummaryBytes int    `json:"summary_bytes,omitempty"`
+}
+
+// SynopsisBudget is the storage split of the served synopsis: the
+// structural charge by component and the value charge by summary kind.
+type SynopsisBudget struct {
+	NodeBytes int `json:"node_bytes"`
+	EdgeBytes int `json:"edge_bytes"`
+	// HistogramBytes, PSTBytes and TermHistBytes split the value budget
+	// across numeric histograms, pruned suffix trees, and end-biased
+	// term histograms.
+	HistogramBytes int `json:"histogram_bytes"`
+	PSTBytes       int `json:"pst_bytes"`
+	TermHistBytes  int `json:"termhist_bytes"`
+}
+
+// SynopsisDebugResponse is the body of GET /debug/synopsis: read-only
+// introspection of where the budget went, so accuracy reports can be
+// correlated with the synopsis's spending.
+type SynopsisDebugResponse struct {
+	Clusters      int            `json:"clusters"`
+	ValueClusters int            `json:"value_clusters"`
+	Edges         int            `json:"edges"`
+	StructBytes   int            `json:"struct_bytes"`
+	ValueBytes    int            `json:"value_bytes"`
+	TotalBytes    int            `json:"total_bytes"`
+	Budget        SynopsisBudget `json:"budget"`
+	// ClusterDetail lists clusters by descending cardinality (capped by
+	// the request's ?limit=N).
+	ClusterDetail []SynopsisCluster `json:"cluster_detail"`
 }
 
 // explainLimit caps the embeddings returned per query when Explain is set.
@@ -114,13 +202,16 @@ const explainLimit = 5
 
 // Handler returns the service's HTTP API:
 //
-//	POST /estimate       {"queries":["//a[b>1]",...],"explain":false,"trace":false}
-//	GET  /stats          counters, cache hit rates, latency percentiles
-//	GET  /metrics        the metrics registry in Prometheus text format
-//	GET  /debug/slowlog  the slow-query ring buffer, most recent first
-//	GET  /buildinfo      module version, VCS revision, Go version
-//	GET  /synopsis       size and composition of the served synopsis
-//	GET  /healthz        liveness probe
+//	POST /estimate        {"queries":["//a[b>1]",...],"explain":false,"trace":false}
+//	POST /feedback        {"feedback":[{"query":"//a[b>1]","true":42},...]}
+//	GET  /stats           counters, cache hit rates, latency percentiles
+//	GET  /metrics         the metrics registry in Prometheus text format
+//	GET  /debug/slowlog   the slow-query ring buffer, most recent first (?limit=N)
+//	GET  /debug/accuracy  per-class estimation error, drift flags, shadow counters
+//	GET  /debug/synopsis  cluster cardinalities and the synopsis budget split (?limit=N)
+//	GET  /buildinfo       module version, VCS revision, Go version
+//	GET  /synopsis        size and composition of the served synopsis
+//	GET  /healthz         liveness probe
 //
 // Per-query failures (parse errors, unknown labels) are reported inline in
 // the results array; whole-request failures (malformed JSON, deadline
@@ -128,9 +219,12 @@ const explainLimit = 5
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	mux.HandleFunc("GET /debug/accuracy", s.handleAccuracy)
+	mux.HandleFunc("GET /debug/synopsis", s.handleSynopsisDebug)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -255,8 +349,30 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WritePrometheus(w) //nolint:errcheck // headers are out; nothing to do
 }
 
+// parseLimit reads a non-negative ?limit=N query parameter. A missing
+// or empty parameter yields (0, false): no cap.
+func parseLimit(r *http.Request) (int, bool, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("bad limit %q: want a non-negative integer", raw)
+	}
+	return n, true, nil
+}
+
 func (s *Service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	limit, capped, err := parseLimit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	entries := s.slow.Snapshot()
+	if capped && len(entries) > limit {
+		entries = entries[:limit]
+	}
 	if entries == nil {
 		entries = []obs.SlowLogEntry{}
 	}
@@ -265,6 +381,116 @@ func (s *Service) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 		Total:          s.slow.Total(),
 		Entries:        entries,
 	})
+}
+
+func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Feedback) == 0 {
+		httpError(w, http.StatusBadRequest, "no feedback")
+		return
+	}
+	resp := FeedbackResponse{Results: make([]FeedbackResult, len(req.Feedback))}
+	for i, fb := range req.Feedback {
+		resp.Results[i].Query = fb.Query
+		q, err := query.Parse(fb.Query)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		est, err := s.Estimate(r.Context(), q)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		class, relErr := s.mon.Observe(q, est, fb.True)
+		resp.Results[i].Class = class.String()
+		resp.Results[i].Estimate = est
+		resp.Results[i].RelError = relErr
+		resp.Accepted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	resp := AccuracyResponse{Report: s.mon.Report()}
+	if s.shadow != nil {
+		st := s.shadow.Stats()
+		resp.Shadow = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// summaryKind names a value summary for introspection output.
+func summaryKind(vt xmltree.ValueType) string {
+	switch vt {
+	case xmltree.TypeNumeric:
+		return "histogram"
+	case xmltree.TypeString:
+		return "pst"
+	case xmltree.TypeText:
+		return "termhist"
+	default:
+		return ""
+	}
+}
+
+func (s *Service) handleSynopsisDebug(w http.ResponseWriter, r *http.Request) {
+	limit, capped, err := parseLimit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := SynopsisDebugResponse{
+		Clusters:      s.syn.NumNodes(),
+		ValueClusters: s.syn.NumValueNodes(),
+		Edges:         s.syn.NumEdges(),
+		StructBytes:   s.syn.StructBytes(),
+		ValueBytes:    s.syn.ValueBytes(),
+		TotalBytes:    s.syn.TotalBytes(),
+		Budget: SynopsisBudget{
+			NodeBytes: s.syn.NumNodes() * core.NodeBytes,
+			EdgeBytes: s.syn.NumEdges() * core.EdgeBytes,
+		},
+	}
+	nodes := s.syn.Nodes()
+	resp.ClusterDetail = make([]SynopsisCluster, 0, len(nodes))
+	for _, n := range nodes {
+		row := SynopsisCluster{
+			ID:       int(n.ID),
+			Label:    n.Label,
+			Path:     n.Path,
+			Count:    n.Count,
+			Children: len(n.Children),
+		}
+		if n.VSum != nil {
+			bytes := n.VSum.SizeBytes()
+			row.Summary = summaryKind(n.VSum.Type())
+			row.SummaryBytes = bytes
+			switch n.VSum.Type() {
+			case xmltree.TypeNumeric:
+				resp.Budget.HistogramBytes += bytes
+			case xmltree.TypeString:
+				resp.Budget.PSTBytes += bytes
+			case xmltree.TypeText:
+				resp.Budget.TermHistBytes += bytes
+			}
+		}
+		resp.ClusterDetail = append(resp.ClusterDetail, row)
+	}
+	// Largest extents first: the clusters where the budget matters most.
+	sort.SliceStable(resp.ClusterDetail, func(i, j int) bool {
+		return resp.ClusterDetail[i].Count > resp.ClusterDetail[j].Count
+	})
+	if capped && len(resp.ClusterDetail) > limit {
+		resp.ClusterDetail = resp.ClusterDetail[:limit]
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleBuildInfo(w http.ResponseWriter, r *http.Request) {

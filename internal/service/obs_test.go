@@ -114,6 +114,8 @@ func TestHTTPMetrics(t *testing.T) {
 
 	postJSON(t, srv, "/estimate", `{"queries":["//book/title","//book[year>1990]"]}`)
 	postJSON(t, srv, "/estimate", `{"queries":["//book/title"]}`)
+	// Pushed ground truth lands in the accuracy series.
+	postJSON(t, srv, "/feedback", `{"feedback":[{"query":"//book/title","true":120}]}`)
 
 	resp, raw := getBody(t, srv, "/metrics")
 	if resp.StatusCode != http.StatusOK {
@@ -124,17 +126,27 @@ func TestHTTPMetrics(t *testing.T) {
 	}
 	text := string(raw)
 	for _, want := range []string{
-		`xcluster_requests_total{outcome="ok"} 3`,
+		// 3 estimates plus the one the feedback handler runs to pair
+		// with the pushed ground truth.
+		`xcluster_requests_total{outcome="ok"} 4`,
 		"# TYPE xcluster_request_seconds histogram",
-		"xcluster_request_seconds_count 3",
+		"xcluster_request_seconds_count 4",
 		`xcluster_pipeline_stage_seconds_bucket{stage="execute",`,
 		`xcluster_pipeline_stage_seconds_bucket{stage="parse",`,
-		`xcluster_cache_lookups_total{cache="result",outcome="hit"} 1`,
+		`xcluster_cache_lookups_total{cache="result",outcome="hit"} 2`,
 		`xcluster_cache_lookups_total{cache="result",outcome="miss"} 2`,
 		`xcluster_synopsis_bytes{component="struct"}`,
 		"xcluster_batches_total 2",
 		"xcluster_batch_queries_total 3",
 		"# HELP xcluster_requests_total Estimate queries answered, by outcome.",
+		// The accuracy series exist from startup for every class; the
+		// feedback pair above is the one struct observation.
+		"# HELP xcluster_accuracy_error Relative error of shadow-checked estimates, by predicate class.",
+		"# TYPE xcluster_accuracy_error histogram",
+		`xcluster_accuracy_error_bucket{class="struct",le="+Inf"} 1`,
+		`xcluster_accuracy_samples_total{class="struct"} 1`,
+		`xcluster_accuracy_samples_total{class="range"} 0`,
+		`xcluster_accuracy_drifted{class="struct"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -200,6 +212,10 @@ func TestHTTPSlowLog(t *testing.T) {
 		if e.Query == "" || e.TotalNanos <= 0 {
 			t.Errorf("entry = %+v, want query and positive total", e)
 		}
+		// Total is the human-readable rendering of TotalNanos.
+		if e.Total != time.Duration(e.TotalNanos).String() {
+			t.Errorf("entry total = %q, want %q", e.Total, time.Duration(e.TotalNanos).String())
+		}
 		if !strings.Contains(e.Plan, "subproblems") {
 			t.Errorf("entry plan = %q, want a plan summary", e.Plan)
 		}
@@ -209,6 +225,19 @@ func TestHTTPSlowLog(t *testing.T) {
 	}
 	if st := svc.Stats(); st.SlowQueries != 2 {
 		t.Errorf("Stats().SlowQueries = %d, want 2", st.SlowQueries)
+	}
+
+	// ?limit=N caps the entries while Total still counts everything.
+	_, raw = getBody(t, srv, "/debug/slowlog?limit=1")
+	var capped SlowLogResponse
+	if err := json.Unmarshal(raw, &capped); err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Entries) != 1 || capped.Total != 2 {
+		t.Errorf("limit=1: entries = %d, total = %d, want 1 and 2", len(capped.Entries), capped.Total)
+	}
+	if resp, _ := getBody(t, srv, "/debug/slowlog?limit=-3"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative limit status = %d, want 400", resp.StatusCode)
 	}
 }
 

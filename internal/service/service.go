@@ -23,9 +23,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
 	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
 )
 
 // Option configures New.
@@ -82,6 +84,41 @@ func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
 	return func(s *Service) { s.slow = obs.NewSlowLog(threshold, capacity) }
 }
 
+// WithShadowSampling enables shadow accuracy evaluation: rate (0..1]
+// of served estimates are re-run through the exact evaluator on a pool
+// of workers goroutines, each evaluation bounded by deadline (measured
+// from enqueue; accuracy.DefaultShadowDeadline when <= 0). Shadow work
+// is queued and dropped under overload — it can never block or fail a
+// client estimate. Requires a ground-truth source: WithDocument or
+// WithTruthFunc; without one, shadow sampling stays off.
+func WithShadowSampling(rate float64, workers int, deadline time.Duration) Option {
+	return func(s *Service) {
+		s.shadowRate = rate
+		s.shadowWorkers = workers
+		s.shadowDeadline = deadline
+	}
+}
+
+// WithDocument makes the source document resident so shadow sampling
+// can compute exact ground truth with internal/query's evaluator.
+func WithDocument(tree *xmltree.Tree) Option {
+	return func(s *Service) { s.doc = tree }
+}
+
+// WithTruthFunc overrides the ground-truth source for shadow sampling
+// (it wins over WithDocument). Deployments that cannot keep the
+// document resident can plug a remote exact-evaluation client; tests
+// use it to force deadline expiry.
+func WithTruthFunc(fn accuracy.TruthFunc) Option {
+	return func(s *Service) { s.truth = fn }
+}
+
+// WithAccuracy forwards options to the service's accuracy monitor
+// (sanity bound, drift window/threshold, drift callback).
+func WithAccuracy(opts ...accuracy.MonitorOption) Option {
+	return func(s *Service) { s.monOpts = append(s.monOpts, opts...) }
+}
+
 // Service is a concurrent estimation service over one immutable
 // synopsis. All methods are safe for concurrent use.
 type Service struct {
@@ -95,6 +132,19 @@ type Service struct {
 	// slow is the optional slow-query ring (nil when disabled).
 	reg  *obs.Registry
 	slow *obs.SlowLog
+
+	// Accuracy monitoring: mon aggregates estimate/truth pairs (always
+	// on — POST /feedback feeds it even without shadow sampling);
+	// shadow re-runs sampled estimates through truth (nil when disabled
+	// or no ground-truth source is configured).
+	mon            *accuracy.Monitor
+	shadow         *accuracy.Shadow
+	doc            *xmltree.Tree
+	truth          accuracy.TruthFunc
+	monOpts        []accuracy.MonitorOption
+	shadowRate     float64
+	shadowWorkers  int
+	shadowDeadline time.Duration
 
 	// Registry series the hot path holds directly (no per-event lookup).
 	served       *obs.Counter // xcluster_requests_total{outcome="ok"}
@@ -127,7 +177,38 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 		s.reg = obs.NewRegistry()
 	}
 	s.wireMetrics()
+	s.mon = accuracy.NewMonitor(append(
+		[]accuracy.MonitorOption{accuracy.WithMonitorRegistry(s.reg)}, s.monOpts...)...)
+	if s.truth == nil && s.doc != nil {
+		ev := query.NewEvaluator(s.doc)
+		s.truth = func(ctx context.Context, q *query.Query) (float64, error) {
+			// The exact evaluator is not interruptible mid-walk; honoring
+			// the deadline at the boundaries still bounds queue-delayed
+			// work and reports late results as drops.
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			v := ev.Selectivity(q)
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return v, nil
+		}
+	}
+	if s.shadowRate > 0 && s.truth != nil {
+		s.shadow = accuracy.NewShadow(s.mon, s.truth,
+			s.shadowRate, s.shadowWorkers, s.shadowDeadline, 0)
+	}
 	return s
+}
+
+// Close stops the shadow sampler's workers after processing the queued
+// samples. The serving paths stay usable (shadow offers after Close
+// are counted as drops); call it when retiring the service.
+func (s *Service) Close() {
+	if s.shadow != nil {
+		s.shadow.Close()
+	}
 }
 
 // wireMetrics registers help text, resolves the hot-path series, and
@@ -145,6 +226,9 @@ func (s *Service) wireMetrics() {
 	r.Help("xcluster_estimator_cache_entries", "Current estimator cache occupancy.")
 	r.Help("xcluster_synopsis_bytes", "Size of the served synopsis by component.")
 	r.Help("xcluster_uptime_seconds", "Seconds since the service was created.")
+	r.Help("xcluster_shadow_sampled_total", "Estimates selected for shadow exact evaluation.")
+	r.Help("xcluster_shadow_observed_total", "Shadow evaluations that completed and reached the accuracy monitor.")
+	r.Help("xcluster_shadow_dropped_total", "Sampled estimates lost to overload, deadline expiry, or evaluator errors.")
 	r.Help(core.MetricPipelineStageSeconds, "Wall time per estimation pipeline stage.")
 	r.Help(core.MetricCacheLookupsTotal, "Estimate-pipeline cache lookups, by cache and outcome.")
 	r.Help(core.MetricBuildPhaseSeconds, "Synopsis build phase wall time.")
@@ -178,6 +262,14 @@ func (s *Service) syncRegistry() {
 	r.Gauge("xcluster_synopsis_bytes", `component="struct"`).Set(float64(s.syn.StructBytes()))
 	r.Gauge("xcluster_synopsis_bytes", `component="value"`).Set(float64(s.syn.ValueBytes()))
 	r.Gauge("xcluster_uptime_seconds", "").Set(time.Since(s.start).Seconds())
+	if s.shadow != nil {
+		st := s.shadow.Stats()
+		r.Counter("xcluster_shadow_sampled_total", "").Store(st.Sampled)
+		r.Counter("xcluster_shadow_observed_total", "").Store(st.Observed)
+		r.Counter("xcluster_shadow_dropped_total", `reason="queue_full"`).Store(st.QueueDrops)
+		r.Counter("xcluster_shadow_dropped_total", `reason="deadline"`).Store(st.DeadlineDrops)
+		r.Counter("xcluster_shadow_dropped_total", `reason="error"`).Store(st.ErrorDrops)
+	}
 }
 
 // Synopsis returns the served synopsis.
@@ -192,6 +284,14 @@ func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // SlowLog returns the slow-query log (nil when disabled).
 func (s *Service) SlowLog() *obs.SlowLog { return s.slow }
+
+// Monitor returns the accuracy monitor (always non-nil; it aggregates
+// shadow samples and pushed feedback).
+func (s *Service) Monitor() *accuracy.Monitor { return s.mon }
+
+// Shadow returns the shadow sampler (nil when shadow sampling is
+// disabled or no ground-truth source was configured).
+func (s *Service) Shadow() *accuracy.Shadow { return s.shadow }
 
 // Estimate answers one query under the service's deadline.
 func (s *Service) Estimate(ctx context.Context, q *query.Query) (float64, error) {
@@ -227,6 +327,11 @@ func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, *co
 	s.reqHist.Observe(d.Seconds())
 	s.served.Inc()
 	s.recordSlow(q, tr, v, d)
+	if s.shadow != nil {
+		// Pair the trace's estimate with exact ground truth off the
+		// serving path; Offer never blocks.
+		s.shadow.Offer(q, tr.Estimate)
+	}
 	return v, tr, nil
 }
 

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 
+	"xcluster/internal/accuracy"
 	"xcluster/internal/query"
 )
 
@@ -11,13 +12,11 @@ import (
 type EstimateFunc func(*query.Query) float64
 
 // RelError returns the absolute relative error |c − e| / max(c, sanity)
-// of one estimate, the paper's per-query accuracy metric.
+// of one estimate, the paper's per-query accuracy metric. It delegates
+// to internal/accuracy, the metric's single implementation shared with
+// the online monitor.
 func RelError(trueSel, est, sanity float64) float64 {
-	denom := math.Max(trueSel, sanity)
-	if denom == 0 {
-		return 0
-	}
-	return math.Abs(trueSel-est) / denom
+	return accuracy.RelError(trueSel, est, sanity)
 }
 
 // AvgRelError returns the average absolute relative error of the
