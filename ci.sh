@@ -15,8 +15,20 @@ if [ -n "$fmt" ]; then
 fi
 go vet ./...
 go build ./...
+
+# Every command builds and the daemon binary starts: compile the
+# binaries into a throwaway dir and smoke-run xclusterd -version.
+bindir="$(mktemp -d)"
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir" ./cmd/...
+"$bindir/xclusterd" -version
+
 go test -short -race ./...
 go test ./...
+
+# The fuzz targets' seed corpora are regression tests: run them as
+# ordinary tests (no fuzzing engine, just the f.Add seeds + testdata).
+go test -run=Fuzz ./...
 
 # Machine-readable benchmark artifact: the prepared-execution
 # experiment (performance + per-class accuracy) as JSON at the repo

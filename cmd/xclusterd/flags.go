@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+)
+
+// config is the validated daemon configuration.
+type config struct {
+	synPath        string
+	addr           string
+	workers        int
+	timeout        time.Duration
+	cache          int
+	planCap        int
+	drain          time.Duration
+	slowQ          time.Duration
+	slowCap        int
+	pprofAddr      string
+	logLevel       string
+	version        bool
+	docPath        string
+	shadowRate     float64
+	shadowWorkers  int
+	shadowDeadline time.Duration
+	bstr           int
+	bval           int
+	rebuildOnDrift bool
+}
+
+const usageLine = "usage: xclusterd -syn syn.bin [-addr :8080] [-doc doc.xml] [-bstr N -bval N] [-shadow-rate 0.01] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]"
+
+// parseFlags parses and validates the daemon's command line. Invalid
+// values fail here, before any file is opened or listener bound, with a
+// message naming the offending flag; output (usage text, parse errors)
+// goes to out.
+func parseFlags(args []string, out io.Writer) (*config, error) {
+	c := &config{}
+	fs := flag.NewFlagSet("xclusterd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.StringVar(&c.synPath, "syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&c.workers, "workers", 0, "batch worker goroutines (default GOMAXPROCS)")
+	fs.DurationVar(&c.timeout, "timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
+	fs.IntVar(&c.cache, "cache", 0, "query-result cache capacity (default 1024, negative disables)")
+	fs.IntVar(&c.planCap, "plancache", 0, "compiled-plan cache capacity (default 256, negative disables)")
+	fs.DurationVar(&c.drain, "drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight work")
+	fs.DurationVar(&c.slowQ, "slowquery", 100*time.Millisecond, "slow-query log threshold (0 disables)")
+	fs.IntVar(&c.slowCap, "slowlog-cap", 0, "slow-query log ring capacity (default 128)")
+	fs.StringVar(&c.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	fs.StringVar(&c.logLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.BoolVar(&c.version, "version", false, "print build info and exit")
+	fs.StringVar(&c.docPath, "doc", "", "source XML document, kept resident for shadow evaluation and /admin/rebuild")
+	fs.Float64Var(&c.shadowRate, "shadow-rate", 0, "fraction of estimates to shadow-verify against -doc (0 disables, 1 samples all)")
+	fs.IntVar(&c.shadowWorkers, "shadow-workers", 0, "shadow evaluation worker goroutines (default 1)")
+	fs.DurationVar(&c.shadowDeadline, "shadow-deadline", 2*time.Second, "per-query shadow evaluation deadline (must be positive)")
+	fs.IntVar(&c.bstr, "bstr", 0, "structural byte budget for /admin/rebuild (default: the served synopsis's own)")
+	fs.IntVar(&c.bval, "bval", 0, "value-summary byte budget for /admin/rebuild (default: the served synopsis's own)")
+	fs.BoolVar(&c.rebuildOnDrift, "rebuild-on-drift", false, "trigger a background rebuild when accuracy drift is detected (requires -doc)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := c.validate(set); err != nil {
+		fmt.Fprintf(out, "xclusterd: %v\n%s\n", err, usageLine)
+		return nil, err
+	}
+	return c, nil
+}
+
+// validate rejects nonsensical configurations with a clear usage error.
+// set reports which flags were given explicitly, so "explicit zero" and
+// "defaulted" are distinguishable where the distinction matters.
+func (c *config) validate(set map[string]bool) error {
+	if c.version {
+		return nil // -version ignores everything else
+	}
+	if c.synPath == "" {
+		return fmt.Errorf("missing required -syn (the synopsis file to serve)")
+	}
+	if set["bstr"] && c.bstr <= 0 {
+		return fmt.Errorf("-bstr must be a positive byte budget, got %d", c.bstr)
+	}
+	if set["bval"] && c.bval <= 0 {
+		return fmt.Errorf("-bval must be a positive byte budget, got %d", c.bval)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", c.workers)
+	}
+	if c.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", c.timeout)
+	}
+	if c.shadowRate < 0 || c.shadowRate > 1 {
+		return fmt.Errorf("-shadow-rate must be in [0,1], got %g", c.shadowRate)
+	}
+	if c.shadowRate > 0 && c.docPath == "" {
+		return fmt.Errorf("-shadow-rate requires -doc (the document to evaluate exactly)")
+	}
+	if c.shadowDeadline <= 0 {
+		return fmt.Errorf("-shadow-deadline must be positive, got %v", c.shadowDeadline)
+	}
+	if c.shadowWorkers < 0 {
+		return fmt.Errorf("-shadow-workers must be non-negative, got %d", c.shadowWorkers)
+	}
+	if c.rebuildOnDrift && c.docPath == "" {
+		return fmt.Errorf("-rebuild-on-drift requires -doc (the document to rebuild from)")
+	}
+	if (set["bstr"] || set["bval"]) && c.docPath == "" {
+		return fmt.Errorf("-bstr/-bval configure /admin/rebuild and require -doc")
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsValid(t *testing.T) {
+	c, err := parseFlags([]string{"-syn", "s.bin", "-addr", ":0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.synPath != "s.bin" || c.addr != ":0" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.shadowDeadline != 2*time.Second {
+		t.Fatalf("shadow deadline default %v, want 2s", c.shadowDeadline)
+	}
+}
+
+func TestParseFlagsVersionSkipsValidation(t *testing.T) {
+	// -version must work without -syn (print build info and exit).
+	c, err := parseFlags([]string{"-version"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.version {
+		t.Fatal("version not set")
+	}
+}
+
+func TestParseFlagsRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing syn", []string{}, "-syn"},
+		{"zero bstr", []string{"-syn", "s", "-doc", "d", "-bstr", "0"}, "-bstr must be a positive"},
+		{"negative bstr", []string{"-syn", "s", "-doc", "d", "-bstr", "-5"}, "-bstr must be a positive"},
+		{"zero bval", []string{"-syn", "s", "-doc", "d", "-bval", "0"}, "-bval must be a positive"},
+		{"negative bval", []string{"-syn", "s", "-doc", "d", "-bval", "-1"}, "-bval must be a positive"},
+		{"budgets without doc", []string{"-syn", "s", "-bstr", "1024"}, "require -doc"},
+		{"shadow rate negative", []string{"-syn", "s", "-doc", "d", "-shadow-rate", "-0.1"}, "-shadow-rate must be in [0,1]"},
+		{"shadow rate above one", []string{"-syn", "s", "-doc", "d", "-shadow-rate", "1.5"}, "-shadow-rate must be in [0,1]"},
+		{"shadow rate without doc", []string{"-syn", "s", "-shadow-rate", "0.5"}, "requires -doc"},
+		{"zero shadow deadline", []string{"-syn", "s", "-shadow-deadline", "0"}, "-shadow-deadline must be positive"},
+		{"negative shadow deadline", []string{"-syn", "s", "-shadow-deadline", "-1s"}, "-shadow-deadline must be positive"},
+		{"negative workers", []string{"-syn", "s", "-workers", "-2"}, "-workers must be non-negative"},
+		{"negative timeout", []string{"-syn", "s", "-timeout", "-1s"}, "-timeout must be non-negative"},
+		{"drift without doc", []string{"-syn", "s", "-rebuild-on-drift"}, "requires -doc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			_, err := parseFlags(tc.args, &sb)
+			if err == nil {
+				t.Fatalf("accepted %v", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The usage error reaches the user on stderr.
+			if !strings.Contains(sb.String(), "usage: xclusterd") {
+				t.Fatalf("no usage line in output: %q", sb.String())
+			}
+		})
+	}
+}
+
+// TestParseFlagsDefaultBudgetsAllowed: unset budgets stay 0 ("use the
+// synopsis's own") without tripping the positivity check.
+func TestParseFlagsDefaultBudgetsAllowed(t *testing.T) {
+	c, err := parseFlags([]string{"-syn", "s.bin", "-doc", "d.xml"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.bstr != 0 || c.bval != 0 {
+		t.Fatalf("budgets %d/%d, want 0/0", c.bstr, c.bval)
+	}
+}

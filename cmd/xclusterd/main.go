@@ -15,7 +15,9 @@
 //	curl -s localhost:8080/stats          # JSON counters + percentiles
 //	curl -s localhost:8080/debug/slowlog  # slow-query ring buffer (?limit=N)
 //	curl -s localhost:8080/debug/accuracy # per-class estimation error + drift flags
-//	curl -s localhost:8080/debug/synopsis # cluster cardinalities + budget split (?limit=N)
+//	curl -s localhost:8080/debug/synopsis # clusters, budget split, generation, rebuild status
+//	curl -s -X POST localhost:8080/admin/reload   # hot swap: re-read -syn
+//	curl -s -X POST localhost:8080/admin/rebuild -d '{"struct_budget":20480}'
 //	curl -s localhost:8080/buildinfo
 //	curl -s localhost:8080/synopsis
 //
@@ -26,18 +28,26 @@
 // slower than -slowquery land in /debug/slowlog, and "trace":true
 // returns the spans inline.
 //
-// With -doc the daemon keeps the source document resident and
-// shadow-samples a -shadow-rate fraction of estimates: sampled queries
-// are re-run through the exact evaluator on background workers
-// (bounded by -shadow-workers and -shadow-deadline, never on the
-// serving path) and the estimate/truth pairs feed per-predicate-class
-// error histograms in /metrics and /debug/accuracy. A class whose
-// recent error drifts beyond its history logs a warning. Deployments
-// without a resident document can push observed exact result sizes to
-// POST /feedback instead.
+// The served synopsis is a hot-swappable generation. SIGHUP or POST
+// /admin/reload re-reads -syn and swaps the new synopsis in with zero
+// downtime: in-flight estimates finish on the old generation, new
+// requests see the new one, and both estimator caches are invalidated
+// atomically. With -doc resident, POST /admin/rebuild reconstructs the
+// synopsis from the document in the background (optionally with new
+// -bstr/-bval budgets) and swaps the result in the same way;
+// -rebuild-on-drift triggers such a rebuild automatically when the
+// accuracy monitor flags drift.
 //
-// Logs are structured JSON on stderr (log/slog). -pprof-addr serves
-// net/http/pprof on a separate listener for profiling. The server
+// With -doc the daemon additionally shadow-samples a -shadow-rate
+// fraction of estimates: sampled queries are re-run through the exact
+// evaluator on background workers (bounded by -shadow-workers and
+// -shadow-deadline, never on the serving path) and the estimate/truth
+// pairs feed per-predicate-class error histograms in /metrics and
+// /debug/accuracy. Deployments without a resident document can push
+// observed exact result sizes to POST /feedback instead.
+//
+// Logs are structured JSON on stderr (log/slog); synopsis lifecycle
+// transitions (reloads, rebuilds, swaps) are logged at info. The server
 // shuts down gracefully on SIGINT/SIGTERM: it stops accepting, drains
 // in-flight requests and batch work within the -drain deadline, and
 // flushes the slow-query log into the structured log before exiting.
@@ -58,37 +68,36 @@ import (
 
 	"xcluster"
 	"xcluster/internal/accuracy"
+	"xcluster/internal/core"
 	"xcluster/internal/service"
 )
 
+// loadSynopsis reads and decodes the synopsis file.
+func loadSynopsis(path string) (*core.Synopsis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xcluster.ReadSynopsis(f)
+}
+
 func main() {
-	var (
-		synPath  = flag.String("syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "batch worker goroutines (default GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
-		cache    = flag.Int("cache", 0, "query-result cache capacity (default 1024, negative disables)")
-		planCap  = flag.Int("plancache", 0, "compiled-plan cache capacity (default 256, negative disables)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight work")
-		slowQ    = flag.Duration("slowquery", 100*time.Millisecond, "slow-query log threshold (0 disables)")
-		slowCap  = flag.Int("slowlog-cap", 0, "slow-query log ring capacity (default 128)")
-		pprofA   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		version  = flag.Bool("version", false, "print build info and exit")
-		docPath  = flag.String("doc", "", "source XML document for shadow exact evaluation (enables -shadow-rate)")
-		shadowR  = flag.Float64("shadow-rate", 0, "fraction of estimates to shadow-verify against -doc (0 disables, 1 samples all)")
-		shadowW  = flag.Int("shadow-workers", 0, "shadow evaluation worker goroutines (default 1)")
-		shadowD  = flag.Duration("shadow-deadline", 0, "per-query shadow evaluation deadline (default 2s)")
-	)
-	flag.Parse()
-	if *version {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	if cfg.version {
 		fmt.Println(service.ReadBuildInfo())
 		return
 	}
 
 	var level slog.Level
-	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
-		fmt.Fprintf(os.Stderr, "xclusterd: bad -log-level %q: %v\n", *logLevel, err)
+	if err := level.UnmarshalText([]byte(cfg.logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "xclusterd: bad -log-level %q: %v\n", cfg.logLevel, err)
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
@@ -97,24 +106,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *synPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: xclusterd -syn syn.bin [-addr :8080] [-workers N] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]")
-		os.Exit(2)
-	}
-
-	f, err := os.Open(*synPath)
-	if err != nil {
-		fatal("opening synopsis", err)
-	}
-	syn, err := xcluster.ReadSynopsis(f)
-	f.Close()
+	syn, err := loadSynopsis(cfg.synPath)
 	if err != nil {
 		fatal("reading synopsis", err)
 	}
 
 	opts := []service.Option{
-		service.WithTimeout(*timeout),
-		service.WithSlowQueryLog(*slowQ, *slowCap),
+		service.WithTimeout(cfg.timeout),
+		service.WithSlowQueryLog(cfg.slowQ, cfg.slowCap),
 		service.WithAccuracy(accuracy.WithOnDrift(func(ev accuracy.DriftEvent) {
 			logger.Warn("accuracy drift",
 				"class", ev.Class.String(),
@@ -123,22 +122,38 @@ func main() {
 				"ratio", ev.Ratio,
 			)
 		})),
+		// POST /admin/reload and SIGHUP re-read the synopsis file.
+		service.WithSynopsisSource(func(ctx context.Context) (*core.Synopsis, error) {
+			return loadSynopsis(cfg.synPath)
+		}),
+		service.WithOnSwap(func(ev service.SwapEvent) {
+			logger.Info("synopsis swapped",
+				"old_generation", ev.OldGeneration,
+				"new_generation", ev.NewGeneration,
+				"reason", ev.Reason,
+				"nodes", ev.Nodes,
+				"total_bytes", ev.TotalBytes,
+				"duration", ev.Duration.String(),
+			)
+		}),
 	}
-	if *workers > 0 {
-		opts = append(opts, service.WithWorkers(*workers))
+	if cfg.workers > 0 {
+		opts = append(opts, service.WithWorkers(cfg.workers))
 	}
-	if *cache != 0 {
-		opts = append(opts, service.WithCacheCapacity(*cache))
+	if cfg.cache != 0 {
+		opts = append(opts, service.WithCacheCapacity(cfg.cache))
 	}
-	if *planCap != 0 {
-		opts = append(opts, service.WithPlanCacheCapacity(*planCap))
+	if cfg.planCap != 0 {
+		opts = append(opts, service.WithPlanCacheCapacity(cfg.planCap))
 	}
-	if *shadowR > 0 && *docPath == "" {
-		fmt.Fprintln(os.Stderr, "xclusterd: -shadow-rate requires -doc (the document to evaluate exactly)")
-		os.Exit(2)
+	if cfg.bstr > 0 || cfg.bval > 0 {
+		opts = append(opts, service.WithRebuildBudgets(cfg.bstr, cfg.bval))
 	}
-	if *docPath != "" {
-		df, err := os.Open(*docPath)
+	if cfg.rebuildOnDrift {
+		opts = append(opts, service.WithRebuildOnDrift())
+	}
+	if cfg.docPath != "" {
+		df, err := os.Open(cfg.docPath)
 		if err != nil {
 			fatal("opening document", err)
 		}
@@ -148,8 +163,8 @@ func main() {
 			fatal("parsing document", err)
 		}
 		opts = append(opts, service.WithDocument(tree))
-		if *shadowR > 0 {
-			opts = append(opts, service.WithShadowSampling(*shadowR, *shadowW, *shadowD))
+		if cfg.shadowRate > 0 {
+			opts = append(opts, service.WithShadowSampling(cfg.shadowRate, cfg.shadowWorkers, cfg.shadowDeadline))
 		}
 	}
 	svc := service.New(syn, opts...)
@@ -158,23 +173,24 @@ func main() {
 	bi := service.ReadBuildInfo()
 	st := xcluster.SynopsisStats(syn)
 	logger.Info("serving",
-		"addr", *addr,
+		"addr", cfg.addr,
 		"synopsis", st.String(),
-		"slowquery_threshold", slowQ.String(),
-		"shadow_rate", *shadowR,
+		"generation", svc.Generation(),
+		"slowquery_threshold", cfg.slowQ.String(),
+		"shadow_rate", cfg.shadowRate,
 		"go_version", bi.GoVersion,
 		"vcs_revision", bi.Revision,
 	)
 
-	if *pprofA != "" {
+	if cfg.pprofAddr != "" {
 		pprofMux := http.NewServeMux()
 		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
 		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		pprofSrv := &http.Server{Addr: *pprofA, Handler: pprofMux, ReadHeaderTimeout: 5 * time.Second}
-		logger.Info("pprof listening", "addr", *pprofA)
+		pprofSrv := &http.Server{Addr: cfg.pprofAddr, Handler: pprofMux, ReadHeaderTimeout: 5 * time.Second}
+		logger.Info("pprof listening", "addr", cfg.pprofAddr)
 		go func() {
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("pprof server", "error", err)
@@ -182,8 +198,21 @@ func main() {
 		}()
 	}
 
+	// SIGHUP = hot reload: re-read the synopsis file and swap, the
+	// classic "new artifact written over the served file" workflow.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			logger.Info("SIGHUP: reloading synopsis", "path", cfg.synPath)
+			if _, err := svc.Reload(context.Background()); err != nil {
+				logger.Error("reload failed; still serving the previous generation", "error", err)
+			}
+		}
+	}()
+
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -204,9 +233,11 @@ func main() {
 			"served", stats.Served,
 			"failed", stats.Failed,
 			"slow_queries", stats.SlowQueries,
-			"drain_deadline", drain.String(),
+			"generation", stats.Generation,
+			"swaps", stats.Swaps,
+			"drain_deadline", cfg.drain.String(),
 		)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		// Stop accepting and wait for in-flight HTTP handlers, then for
 		// any estimation work still running (EstimateBatch workers), all

@@ -3,6 +3,7 @@ package xcluster
 import (
 	"errors"
 
+	"xcluster/internal/core"
 	"xcluster/internal/query"
 )
 
@@ -16,6 +17,11 @@ var ErrBudgetTooSmall = errors.New("xcluster: budget too small")
 // typed WithNumericSummary option cannot produce it. Test with
 // errors.Is.
 var ErrUnknownNumericSummary = errors.New("xcluster: unknown numeric summary")
+
+// ErrSynopsisVersion reports a ReadSynopsis input whose file format
+// version this build cannot decode (a file written by a newer build, or
+// not a synopsis at all). Test with errors.Is.
+var ErrSynopsisVersion = core.ErrSynopsisVersion
 
 // QueryParseError is the error type ParseQuery returns for malformed
 // queries; its Offset field reports the byte position of the failure.

@@ -105,9 +105,20 @@ func WithMonitorRegistry(r *obs.Registry) MonitorOption {
 
 // WithOnDrift installs a callback fired once per false→true drift-flag
 // transition of a class (e.g. to log a warning). It runs on the
-// observing goroutine with no monitor lock held.
+// observing goroutine with no monitor lock held. Repeated options
+// chain: every installed callback fires, in installation order, so a
+// logging hook and a rebuild trigger compose.
 func WithOnDrift(fn func(DriftEvent)) MonitorOption {
-	return func(m *Monitor) { m.onDrift = fn }
+	return func(m *Monitor) {
+		if prev := m.onDrift; prev != nil {
+			m.onDrift = func(ev DriftEvent) {
+				prev(ev)
+				fn(ev)
+			}
+			return
+		}
+		m.onDrift = fn
+	}
 }
 
 // classState aggregates one class's errors: lifetime sum/count plus a

@@ -94,6 +94,7 @@ func XClusterBuild(ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
 // error is ctx.Err() when cancellation caused the abort.
 func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
 	opts = opts.withDefaults()
+	buildStart := time.Now()
 	s := ref.Clone()
 	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int), ctx: ctx}
 	if opts.GlobalMetric {
@@ -123,6 +124,13 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 	if opts.Metrics != nil {
 		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="value"`, time.Since(phaseStart).Seconds())
 	}
+	// Stamp the build identity: the doc hash and option summary arrive
+	// via the reference's fingerprint (through Clone); the compression
+	// pass adds its budgets and timing.
+	s.fp.StructBudget = opts.StructBudget
+	s.fp.ValueBudget = opts.ValueBudget
+	s.fp.BuiltAtUnix = time.Now().Unix()
+	s.fp.BuildNanos = time.Since(buildStart).Nanoseconds()
 	return s, nil
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"sort"
 
 	"xcluster/internal/vsum"
@@ -10,15 +12,44 @@ import (
 	"xcluster/internal/xmltree"
 )
 
-// magic identifies the synopsis file format (version 1).
-var magic = []byte("XCLUSTER1\n")
+// The synopsis file format is versioned through its magic line:
+//
+//	XCLUSTER1\n  graph + dictionary + value summaries (legacy)
+//	XCLUSTER2\n  adds a fingerprint header (doc hash, budgets,
+//	             generation, build time) before the v1 body
+//
+// WriteTo always writes the current version; ReadSynopsis decodes
+// every version it knows and fails with ErrSynopsisVersion on versions
+// it does not, so an old daemon fed a newer file reports a clear typed
+// error instead of decoding garbage.
+var (
+	magicV1 = []byte("XCLUSTER1\n")
+	magicV2 = []byte("XCLUSTER2\n")
+)
 
-// WriteTo serializes the synopsis (including its term dictionary and all
-// value summaries) in a compact binary format, so an optimizer can load
-// statistics without touching the database. It implements io.WriterTo.
+// CodecVersion is the synopsis file format version WriteTo produces.
+const CodecVersion = 2
+
+// ErrSynopsisVersion reports a synopsis file whose format version this
+// build cannot decode. Test with errors.Is.
+var ErrSynopsisVersion = errors.New("core: unsupported synopsis format version")
+
+// WriteTo serializes the synopsis (fingerprint header, term dictionary
+// and all value summaries) in a compact binary format, so an optimizer
+// can load statistics without touching the database. It implements
+// io.WriterTo.
 func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	ww := wire.NewWriter(w)
-	ww.Bytes(magic)
+	ww.Bytes(magicV2)
+
+	// Fingerprint header (v2).
+	ww.Uint(s.fp.DocHash)
+	ww.Int(s.fp.StructBudget)
+	ww.Int(s.fp.ValueBudget)
+	ww.Uint(s.fp.Generation)
+	ww.Int(int(s.fp.BuiltAtUnix))
+	ww.Int(int(s.fp.BuildNanos))
+	ww.String(s.fp.BuildOptions)
 
 	// Term dictionary.
 	ww.Uint(uint64(s.dict.Len()))
@@ -60,10 +91,46 @@ func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	return ww.Len(), nil
 }
 
-// ReadSynopsis deserializes a synopsis written by WriteTo.
+// ReadSynopsis deserializes a synopsis written by WriteTo. Both format
+// versions decode: v1 files yield a zero fingerprint, v2 files carry
+// their build identity. Unknown versions fail with ErrSynopsisVersion.
 func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	rr := wire.NewReader(r)
-	rr.Expect(magic)
+	// In-memory readers self-report their size (wire.NewReader detects
+	// Len); for regular files the stat size serves the same purpose, so
+	// corrupt length prefixes fail before allocating.
+	if f, ok := r.(fs.File); ok {
+		if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+			rr.SetLimit(fi.Size())
+		}
+	}
+	head := rr.Raw(len(magicV2))
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("core: ReadSynopsis: magic: %w", err)
+	}
+	var fp Fingerprint
+	switch string(head) {
+	case string(magicV1):
+		// Legacy artifact: no header, zero fingerprint.
+	case string(magicV2):
+		fp.DocHash = rr.Uint()
+		fp.StructBudget = rr.Int()
+		fp.ValueBudget = rr.Int()
+		fp.Generation = rr.Uint()
+		fp.BuiltAtUnix = int64(rr.Int())
+		fp.BuildNanos = int64(rr.Int())
+		fp.BuildOptions = rr.String()
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("core: ReadSynopsis: header: %w", err)
+		}
+	default:
+		if string(head[:len("XCLUSTER")]) == "XCLUSTER" {
+			return nil, fmt.Errorf("core: ReadSynopsis: %w: magic %q (this build reads versions 1-%d)",
+				ErrSynopsisVersion, head, CodecVersion)
+		}
+		return nil, fmt.Errorf("core: ReadSynopsis: %w: not an XCluster synopsis file (magic %q)",
+			ErrSynopsisVersion, head)
+	}
 
 	dict := xmltree.NewDict()
 	nTerms := rr.Uint()
@@ -72,6 +139,7 @@ func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	}
 
 	s := newSynopsis(dict)
+	s.fp = fp
 	s.rootID = NodeID(rr.Int())
 	s.nextID = NodeID(rr.Int())
 	nNodes := rr.Uint()

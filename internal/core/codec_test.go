@@ -2,11 +2,17 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"math/rand"
+	"os"
+	"sort"
 	"testing"
 
 	"xcluster/internal/query"
+	"xcluster/internal/vsum"
+	"xcluster/internal/wire"
 )
 
 func TestCodecRoundTrip(t *testing.T) {
@@ -96,6 +102,194 @@ func TestCodecSerializedSizeTracksAccounting(t *testing.T) {
 	actual := buf.Len()
 	if actual > charged*4 || charged > actual*4 {
 		t.Fatalf("charged %d bytes vs serialized %d bytes", charged, actual)
+	}
+}
+
+// writeV1 encodes s in the legacy version-1 format (no fingerprint
+// header) — a copy of the pre-versioning encoder, kept to generate and
+// regenerate the golden fixture in testdata and to prove the decoder's
+// backward compatibility.
+func writeV1(w io.Writer, s *Synopsis) error {
+	ww := wire.NewWriter(w)
+	ww.Bytes(magicV1)
+	ww.Uint(uint64(s.dict.Len()))
+	for _, term := range s.dict.Terms() {
+		ww.String(term)
+	}
+	ww.Int(int(s.rootID))
+	ww.Int(int(s.nextID))
+	nodes := s.Nodes()
+	ww.Uint(uint64(len(nodes)))
+	for _, n := range nodes {
+		ww.Int(int(n.ID))
+		ww.String(n.Label)
+		ww.Uint(uint64(n.VType))
+		ww.Float(n.Count)
+		ww.String(n.Path)
+		ww.Uint(uint64(len(n.Children)))
+		targets := make([]int, 0, len(n.Children))
+		for c := range n.Children {
+			targets = append(targets, int(c))
+		}
+		sort.Ints(targets)
+		for _, c := range targets {
+			ww.Int(c)
+			ww.Float(n.Children[NodeID(c)])
+		}
+		if n.VSum != nil {
+			ww.Uint(1)
+			vsum.Encode(ww, n.VSum)
+		} else {
+			ww.Uint(0)
+		}
+	}
+	return ww.Flush()
+}
+
+const goldenV1 = "testdata/synopsis_v1.bin"
+
+// TestCodecV1Golden decodes the checked-in version-1 fixture: a legacy
+// artifact must keep decoding correctly (zero fingerprint, valid graph,
+// estimates preserved across a re-encode into the current version).
+// Regenerate the fixture with GOLDEN_UPDATE=1 go test -run V1Golden.
+func TestCodecV1Golden(t *testing.T) {
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		tr := figure1(t)
+		ref, err := BuildReference(tr, ReferenceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := XClusterBuild(ref, BuildOptions{StructBudget: ref.StructBytes(), ValueBudget: ref.ValueBytes()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeV1(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV1, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenV1, buf.Len())
+	}
+	raw, err := os.ReadFile(goldenV1)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	s, err := ReadSynopsis(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 fixture no longer decodes: %v", err)
+	}
+	if !s.Fingerprint().IsZero() {
+		t.Fatalf("v1 artifact decoded with a fingerprint: %+v", s.Fingerprint())
+	}
+	if s.NumNodes() == 0 {
+		t.Fatal("v1 fixture decoded empty")
+	}
+	// Re-encode into the current version; estimates must survive
+	// bit-for-bit.
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewEstimator(s), NewEstimator(back)
+	for _, qs := range []string{
+		"//paper", "//paper[year>2000]", "//title[contains(Tree)]", "/dblp//title",
+	} {
+		q := query.MustParse(qs)
+		if x, y := a.Selectivity(q), b.Selectivity(q); x != y {
+			t.Fatalf("s(%s): %g from v1, %g after v2 round trip", qs, x, y)
+		}
+	}
+}
+
+func TestCodecFingerprintRoundTrip(t *testing.T) {
+	tr := figure1(t)
+	ref, err := BuildReference(tr, ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Fingerprint().DocHash == 0 {
+		t.Fatal("BuildReference left DocHash unset")
+	}
+	s, err := XClusterBuild(ref, BuildOptions{StructBudget: 256, ValueBudget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := s.Fingerprint()
+	if fp.DocHash != ref.Fingerprint().DocHash {
+		t.Fatal("compression lost the doc hash")
+	}
+	if fp.StructBudget != 256 || fp.ValueBudget != 256 {
+		t.Fatalf("budgets not stamped: %+v", fp)
+	}
+	if fp.BuiltAtUnix == 0 || fp.BuildNanos <= 0 {
+		t.Fatalf("build time not stamped: %+v", fp)
+	}
+	fp.Generation = 7
+	s.SetFingerprint(fp)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != fp {
+		t.Fatalf("fingerprint changed across round trip:\n got %+v\nwant %+v", back.Fingerprint(), fp)
+	}
+}
+
+func TestCodecUnknownVersion(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	var buf bytes.Buffer
+	if _, err := ref.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	future := append([]byte(nil), buf.Bytes()...)
+	copy(future, "XCLUSTER9\n")
+	if _, err := ReadSynopsis(bytes.NewReader(future)); !errors.Is(err, ErrSynopsisVersion) {
+		t.Fatalf("future version: got %v, want ErrSynopsisVersion", err)
+	}
+	garbage := append([]byte(nil), buf.Bytes()...)
+	copy(garbage, "NOTASYNOP\n")
+	if _, err := ReadSynopsis(bytes.NewReader(garbage)); !errors.Is(err, ErrSynopsisVersion) {
+		t.Fatalf("garbage magic: got %v, want ErrSynopsisVersion", err)
+	}
+}
+
+// TestCodecLyingLengthPrefix corrupts a term-dictionary length prefix
+// to claim more bytes than the file holds: the decode must fail with a
+// sticky error, not allocate the claimed length or panic.
+func TestCodecLyingLengthPrefix(t *testing.T) {
+	tr := figure1(t)
+	ref, _ := BuildReference(tr, ReferenceOptions{})
+	var buf bytes.Buffer
+	if _, err := ref.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// The fingerprint header ends with a (normally empty) options
+	// string; splice in a huge varint length right after the header so
+	// the first dictionary string read sees it.
+	var head bytes.Buffer
+	hw := wire.NewWriter(&head)
+	hw.Uint(1 << 23) // just under maxStringLen: passes the size guard
+	_ = hw.Flush()
+	corrupt := append([]byte(nil), good[:len(magicV2)]...)
+	corrupt = append(corrupt, head.Bytes()...)
+	corrupt = append(corrupt, good[len(magicV2):len(good)/2]...)
+	if _, err := ReadSynopsis(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("lying length prefix accepted")
 	}
 }
 

@@ -66,7 +66,7 @@ func (e *Estimator) compile(q *query.Query) (*Plan, error) {
 		steps: make(map[query.Step]*stepSet),
 		memo:  make(map[memoKey]int32),
 	}
-	p := &Plan{canonical: q.String()}
+	p := &Plan{canonical: q.String(), gen: e.s.fp.Generation}
 	for _, r := range q.Roots {
 		p.groupStart = append(p.groupStart, int32(len(c.subs)))
 		idx, err := c.compileVar(r, -1)

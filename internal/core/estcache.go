@@ -31,6 +31,13 @@ func (c CacheStats) HitRate() float64 {
 // immutable synopsis never change), so a hit can be returned without
 // copying. Hit/miss counters are atomics so they never contend with the
 // list manipulation.
+//
+// The cache is epoch-aware: every entry is stamped with the value of the
+// shared epoch counter at insertion, and a lookup only hits when the
+// entry's stamp matches the current epoch. Bumping the counter therefore
+// invalidates every cache sharing it in one atomic store — the result
+// and plan caches of an estimator can never serve values from different
+// epochs, even mid-swap while a slow writer races the bump.
 type lruCache[V any] struct {
 	mu       sync.Mutex
 	capacity int
@@ -38,26 +45,38 @@ type lruCache[V any] struct {
 	items    map[string]*list.Element
 	hits     atomic.Uint64
 	misses   atomic.Uint64
+	// epoch is the shared invalidation counter (owned by the Estimator;
+	// the same counter backs both of its caches).
+	epoch *atomic.Uint64
 }
 
 // cacheEntry is one LRU element.
 type cacheEntry[V any] struct {
-	key string
-	val V
+	key   string
+	val   V
+	epoch uint64 // epoch counter value at insertion
 }
 
-func newLRUCache[V any](capacity int) *lruCache[V] {
+func newLRUCache[V any](capacity int, epoch *atomic.Uint64) *lruCache[V] {
 	return &lruCache[V]{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		epoch:    epoch,
 	}
 }
 
 // get returns the cached value for key and whether it was present.
+// Entries stamped with a stale epoch are dropped and count as misses.
 func (c *lruCache[V]) get(key string) (V, bool) {
+	now := c.epoch.Load()
 	c.mu.Lock()
 	el, ok := c.items[key]
+	if ok && el.Value.(*cacheEntry[V]).epoch != now {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		ok = false
+	}
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
@@ -71,24 +90,37 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 	return v, true
 }
 
-// put inserts key → val, evicting the least recently used entry when the
-// cache is full. Concurrent puts of the same key are idempotent (both
-// goroutines computed the same deterministic value).
+// put inserts key → val stamped with the current epoch, evicting the
+// least recently used entry when the cache is full. Concurrent puts of
+// the same key are idempotent (both goroutines computed the same
+// deterministic value).
 func (c *lruCache[V]) put(key string, val V) {
+	now := c.epoch.Load()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry[V]).val = val
+		ent := el.Value.(*cacheEntry[V])
+		ent.val = val
+		ent.epoch = now
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
+	el := c.ll.PushFront(&cacheEntry[V]{key: key, val: val, epoch: now})
 	c.items[key] = el
 	if c.ll.Len() > c.capacity {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry[V]).key)
 	}
+}
+
+// purge eagerly drops every entry (stale entries would otherwise only be
+// reclaimed lazily on lookup). Counters are kept.
+func (c *lruCache[V]) purge() {
+	c.mu.Lock()
+	c.ll.Init()
+	clear(c.items)
+	c.mu.Unlock()
 }
 
 // stats snapshots the counters and occupancy.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"xcluster/internal/query"
 )
@@ -62,6 +63,10 @@ type Estimator struct {
 	// repeated query shapes compile once and execute many times; nil
 	// when disabled.
 	plans *lruCache[*Plan]
+	// epoch is the shared invalidation counter behind both caches: one
+	// InvalidateCaches bump makes every cached result and plan stale
+	// atomically (see estcache.go).
+	epoch atomic.Uint64
 	// sink, when non-nil, receives pipeline stage timings and cache
 	// outcomes from the traced estimation paths (SetMetricSink).
 	sink MetricSink
@@ -90,11 +95,11 @@ const DefaultPlanCacheCapacity = 256
 // DefaultCacheCapacity queries.
 func NewEstimator(s *Synopsis) *Estimator {
 	e := &Estimator{
-		s:     s,
-		kids:  buildKidIndex(s),
-		cache: newLRUCache[float64](DefaultCacheCapacity),
-		plans: newLRUCache[*Plan](DefaultPlanCacheCapacity),
+		s:    s,
+		kids: buildKidIndex(s),
 	}
+	e.cache = newLRUCache[float64](DefaultCacheCapacity, &e.epoch)
+	e.plans = newLRUCache[*Plan](DefaultPlanCacheCapacity, &e.epoch)
 	e.desc = buildDescIndex(s)
 	e.memos.New = func() any { return make(map[memoKey]float64) }
 	return e
@@ -108,7 +113,7 @@ func (e *Estimator) SetCacheCapacity(n int) {
 		e.cache = nil
 		return
 	}
-	e.cache = newLRUCache[float64](n)
+	e.cache = newLRUCache[float64](n, &e.epoch)
 }
 
 // SetPlanCacheCapacity resizes the compiled-plan cache to hold n plans
@@ -120,8 +125,33 @@ func (e *Estimator) SetPlanCacheCapacity(n int) {
 		e.plans = nil
 		return
 	}
-	e.plans = newLRUCache[*Plan](n)
+	e.plans = newLRUCache[*Plan](n, &e.epoch)
 }
+
+// InvalidateCaches drops every cached result and compiled plan in one
+// atomic step: the shared epoch counter is bumped first — instantly
+// staling all entries of both caches, including ones a racing writer is
+// about to insert with the old stamp — and then both caches are purged
+// eagerly to release memory. Safe for concurrent use; called on
+// synopsis hot swaps so no estimate computed against the outgoing
+// generation survives into the next.
+func (e *Estimator) InvalidateCaches() {
+	e.epoch.Add(1)
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	if e.plans != nil {
+		e.plans.purge()
+	}
+}
+
+// Generation returns the build generation of the synopsis this
+// estimator serves (0 for artifacts that never went through a lifecycle
+// swap).
+func (e *Estimator) Generation() uint64 { return e.s.fp.Generation }
+
+// Synopsis returns the synopsis the estimator is bound to.
+func (e *Estimator) Synopsis() *Synopsis { return e.s }
 
 // CacheStats returns the result cache's hit/miss counters and occupancy
 // (zero-valued when the cache is disabled).

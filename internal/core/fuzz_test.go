@@ -5,16 +5,19 @@ import (
 	"testing"
 )
 
-// FuzzReadSynopsis feeds arbitrary bytes to the synopsis decoder: it must
-// either return a valid synopsis or an error — never panic, hang, or
-// return a synopsis that fails validation.
-func FuzzReadSynopsis(f *testing.F) {
-	// Seed with a genuine serialized synopsis plus mutations.
+// FuzzDecodeSynopsis feeds arbitrary bytes to the synopsis decoder: it
+// must either return a valid synopsis or an error — never panic, hang,
+// over-allocate on a lying length prefix, or return a synopsis that
+// fails validation. Seeds cover both codec versions, truncations, and
+// bit flips; checked-in inputs live in testdata/fuzz/FuzzDecodeSynopsis.
+func FuzzDecodeSynopsis(f *testing.F) {
 	tr := figure1(f)
 	ref, err := BuildReference(tr, ReferenceOptions{})
 	if err != nil {
 		f.Fatal(err)
 	}
+
+	// Current (v2) encoding plus mutations.
 	var buf bytes.Buffer
 	if _, err := ref.WriteTo(&buf); err != nil {
 		f.Fatal(err)
@@ -23,12 +26,25 @@ func FuzzReadSynopsis(f *testing.F) {
 	f.Add(good)
 	f.Add(good[:len(good)/2])
 	f.Add([]byte("XCLUSTER1\n"))
+	f.Add([]byte("XCLUSTER2\n"))
+	f.Add([]byte("XCLUSTER9\n"))
 	f.Add([]byte{})
 	mutated := append([]byte(nil), good...)
 	for i := 20; i < len(mutated); i += 37 {
 		mutated[i] ^= 0xff
 	}
 	f.Add(mutated)
+
+	// Legacy (v1) encoding plus a truncation.
+	var v1 bytes.Buffer
+	if err := writeV1(&v1, ref); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v1.Bytes()[:len(v1.Bytes())*2/3])
+
+	// Huge varint length prefix right after the magic.
+	f.Add(append([]byte("XCLUSTER2\n"), 0xfe, 0xff, 0xff, 0xff, 0x0f))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadSynopsis(bytes.NewReader(data))

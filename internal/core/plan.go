@@ -41,6 +41,10 @@ type Plan struct {
 	// loweredSteps is the number of distinct (axis, label) steps
 	// resolved against the synopsis during compilation.
 	loweredSteps int
+	// gen is the build generation of the synopsis the plan was compiled
+	// against; traces carry it so a swap can prove no plan outlived its
+	// generation.
+	gen uint64
 	// vals pools the execution scratch buffer (len(subs) floats).
 	vals sync.Pool
 }
@@ -74,6 +78,10 @@ type planTerm struct {
 
 // Query returns the canonical string of the compiled query.
 func (p *Plan) Query() string { return p.canonical }
+
+// Generation returns the synopsis build generation the plan was
+// compiled against.
+func (p *Plan) Generation() uint64 { return p.gen }
 
 // NumSubproblems returns the number of compiled subproblems.
 func (p *Plan) NumSubproblems() int { return len(p.subs) }

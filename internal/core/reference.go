@@ -147,7 +147,30 @@ func BuildReference(t *xmltree.Tree, opts ReferenceOptions) (*Synopsis, error) {
 		}
 		c.VSum = s
 	}
+	syn.fp = Fingerprint{DocHash: DocHash(t), BuildOptions: opts.render()}
 	return syn, nil
+}
+
+// render produces the canonical one-line option summary stored in the
+// fingerprint (empty when everything is default).
+func (o ReferenceOptions) render() string {
+	var parts []string
+	if len(o.ValuePaths) > 0 {
+		parts = append(parts, fmt.Sprintf("valuepaths=%d", len(o.ValuePaths)))
+	}
+	if o.Detail.Numeric != 0 {
+		parts = append(parts, fmt.Sprintf("numeric=%d", o.Detail.Numeric))
+	}
+	if o.Detail.PSTDepth != 0 {
+		parts = append(parts, fmt.Sprintf("pstdepth=%d", o.Detail.PSTDepth))
+	}
+	if o.Detail.HistBuckets != 0 {
+		parts = append(parts, fmt.Sprintf("histbuckets=%d", o.Detail.HistBuckets))
+	}
+	if o.Detail.MaxSummaryBytes != 0 {
+		parts = append(parts, fmt.Sprintf("maxsummary=%d", o.Detail.MaxSummaryBytes))
+	}
+	return strings.Join(parts, " ")
 }
 
 // BuildTagSynopsis constructs the coarsest structural summary: elements
@@ -217,5 +240,6 @@ func BuildTagSynopsis(t *xmltree.Tree, opts ReferenceOptions) (*Synopsis, error)
 		}
 		c.VSum = s
 	}
+	syn.fp = Fingerprint{DocHash: DocHash(t), BuildOptions: opts.render()}
 	return syn, nil
 }

@@ -62,6 +62,9 @@ type Synopsis struct {
 	nextID NodeID
 	edges  int // maintained by setEdge/dropEdge; O(1) StructBytes
 	dict   *xmltree.Dict
+	// fp is the build identity (doc hash, budgets, generation); see
+	// fingerprint.go. Zero for legacy artifacts.
+	fp Fingerprint
 }
 
 // Storage accounting (bytes), matching the budget semantics of the
@@ -182,6 +185,7 @@ func (s *Synopsis) Clone() *Synopsis {
 		nextID: s.nextID,
 		edges:  s.edges,
 		dict:   s.dict,
+		fp:     s.fp,
 	}
 	for id, n := range s.nodes {
 		cp := &Node{

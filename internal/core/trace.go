@@ -51,6 +51,13 @@ type EstimateTrace struct {
 	// of one estimate, so accuracy monitoring can pair it with ground
 	// truth later without re-running the pipeline.
 	Estimate float64
+	// Generation is the build generation of the synopsis the estimate
+	// ran against; PlanGeneration is the generation of the plan it
+	// executed. The two are always equal — plans never cross a hot swap
+	// (each swap installs a fresh estimator and invalidates the old
+	// caches) — and the lifecycle tests assert exactly that.
+	Generation     uint64
+	PlanGeneration uint64
 }
 
 // add appends one stage timing.
@@ -75,6 +82,8 @@ func (t *EstimateTrace) SpanSum() time.Duration {
 // additionally emitted into it.
 func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (float64, *EstimateTrace, error) {
 	tr := &EstimateTrace{Spans: make([]Span, 0, 5)}
+	tr.Generation = e.s.fp.Generation
+	tr.PlanGeneration = tr.Generation // refined below when a plan runs
 	t0 := time.Now()
 	canonical := q.String()
 	tr.Canonical = canonical
@@ -119,6 +128,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 		plan = p
 	}
 	tr.Subproblems = plan.NumSubproblems()
+	tr.PlanGeneration = plan.gen
 
 	ts := time.Now()
 	total, err := plan.executeContext(ctx)

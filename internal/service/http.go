@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -181,20 +182,60 @@ type SynopsisBudget struct {
 	TermHistBytes  int `json:"termhist_bytes"`
 }
 
+// SynopsisVersion is the build-identity section of GET /debug/synopsis:
+// the served generation's fingerprint plus the codec version this build
+// writes.
+type SynopsisVersion struct {
+	// Generation is the build generation of the serving synopsis;
+	// InstalledAt is when it went live in this process.
+	Generation  uint64    `json:"generation"`
+	InstalledAt time.Time `json:"installed_at"`
+	// CodecVersion is the file format version WriteTo produces.
+	CodecVersion int `json:"codec_version"`
+	// DocHash fingerprints the source document (hex; empty for legacy
+	// artifacts that carry no fingerprint).
+	DocHash string `json:"doc_hash,omitempty"`
+	// StructBudget/ValueBudget are the build byte budgets;
+	// BuildOptions the non-default reference options.
+	StructBudget int    `json:"struct_budget,omitempty"`
+	ValueBudget  int    `json:"value_budget,omitempty"`
+	BuildOptions string `json:"build_options,omitempty"`
+	// BuiltAt and BuildNanos record when and how long the synopsis
+	// build ran (zero for legacy artifacts).
+	BuiltAt    time.Time `json:"built_at,omitzero"`
+	BuildNanos int64     `json:"build_nanos,omitempty"`
+}
+
 // SynopsisDebugResponse is the body of GET /debug/synopsis: read-only
 // introspection of where the budget went, so accuracy reports can be
-// correlated with the synopsis's spending.
+// correlated with the synopsis's spending, plus the serving
+// generation's build identity and the rebuilder's status.
 type SynopsisDebugResponse struct {
-	Clusters      int            `json:"clusters"`
-	ValueClusters int            `json:"value_clusters"`
-	Edges         int            `json:"edges"`
-	StructBytes   int            `json:"struct_bytes"`
-	ValueBytes    int            `json:"value_bytes"`
-	TotalBytes    int            `json:"total_bytes"`
-	Budget        SynopsisBudget `json:"budget"`
+	Clusters      int             `json:"clusters"`
+	ValueClusters int             `json:"value_clusters"`
+	Edges         int             `json:"edges"`
+	StructBytes   int             `json:"struct_bytes"`
+	ValueBytes    int             `json:"value_bytes"`
+	TotalBytes    int             `json:"total_bytes"`
+	Version       SynopsisVersion `json:"version"`
+	Rebuild       RebuildStatus   `json:"rebuild"`
+	Budget        SynopsisBudget  `json:"budget"`
 	// ClusterDetail lists clusters by descending cardinality (capped by
 	// the request's ?limit=N).
 	ClusterDetail []SynopsisCluster `json:"cluster_detail"`
+}
+
+// RebuildRequest is the (optional) body of POST /admin/rebuild.
+type RebuildRequest struct {
+	// StructBudget and ValueBudget override the new synopsis's byte
+	// budgets (nonpositive or absent: keep the current ones).
+	StructBudget int `json:"struct_budget,omitempty"`
+	ValueBudget  int `json:"value_budget,omitempty"`
+	// Async returns 202 immediately and rebuilds in the background;
+	// poll GET /debug/synopsis for the outcome.
+	Async bool `json:"async,omitempty"`
+	// Reason is recorded in the swap event and logs.
+	Reason string `json:"reason,omitempty"`
 }
 
 // explainLimit caps the embeddings returned per query when Explain is set.
@@ -208,7 +249,9 @@ const explainLimit = 5
 //	GET  /metrics         the metrics registry in Prometheus text format
 //	GET  /debug/slowlog   the slow-query ring buffer, most recent first (?limit=N)
 //	GET  /debug/accuracy  per-class estimation error, drift flags, shadow counters
-//	GET  /debug/synopsis  cluster cardinalities and the synopsis budget split (?limit=N)
+//	GET  /debug/synopsis  cluster cardinalities, budget split, build identity, rebuild status (?limit=N)
+//	POST /admin/reload    hot swap: re-read the synopsis from its source
+//	POST /admin/rebuild   hot swap: rebuild from the resident document {"struct_budget":N,"value_budget":N,"async":false}
 //	GET  /buildinfo       module version, VCS revision, Go version
 //	GET  /synopsis        size and composition of the served synopsis
 //	GET  /healthz         liveness probe
@@ -225,6 +268,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	mux.HandleFunc("GET /debug/accuracy", s.handleAccuracy)
 	mux.HandleFunc("GET /debug/synopsis", s.handleSynopsisDebug)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -446,19 +491,38 @@ func (s *Service) handleSynopsisDebug(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sl := s.cur.Load()
+	fp := sl.syn.Fingerprint()
+	ver := SynopsisVersion{
+		Generation:   fp.Generation,
+		InstalledAt:  sl.installed,
+		CodecVersion: core.CodecVersion,
+		StructBudget: fp.StructBudget,
+		ValueBudget:  fp.ValueBudget,
+		BuildOptions: fp.BuildOptions,
+		BuildNanos:   fp.BuildNanos,
+	}
+	if fp.DocHash != 0 {
+		ver.DocHash = fmt.Sprintf("%016x", fp.DocHash)
+	}
+	if fp.BuiltAtUnix != 0 {
+		ver.BuiltAt = time.Unix(fp.BuiltAtUnix, 0).UTC()
+	}
 	resp := SynopsisDebugResponse{
-		Clusters:      s.syn.NumNodes(),
-		ValueClusters: s.syn.NumValueNodes(),
-		Edges:         s.syn.NumEdges(),
-		StructBytes:   s.syn.StructBytes(),
-		ValueBytes:    s.syn.ValueBytes(),
-		TotalBytes:    s.syn.TotalBytes(),
+		Clusters:      sl.syn.NumNodes(),
+		ValueClusters: sl.syn.NumValueNodes(),
+		Edges:         sl.syn.NumEdges(),
+		StructBytes:   sl.syn.StructBytes(),
+		ValueBytes:    sl.syn.ValueBytes(),
+		TotalBytes:    sl.syn.TotalBytes(),
+		Version:       ver,
+		Rebuild:       s.RebuildStatus(),
 		Budget: SynopsisBudget{
-			NodeBytes: s.syn.NumNodes() * core.NodeBytes,
-			EdgeBytes: s.syn.NumEdges() * core.EdgeBytes,
+			NodeBytes: sl.syn.NumNodes() * core.NodeBytes,
+			EdgeBytes: sl.syn.NumEdges() * core.EdgeBytes,
 		},
 	}
-	nodes := s.syn.Nodes()
+	nodes := sl.syn.Nodes()
 	resp.ClusterDetail = make([]SynopsisCluster, 0, len(nodes))
 	for _, n := range nodes {
 		row := SynopsisCluster{
@@ -498,14 +562,79 @@ func (s *Service) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	syn := s.cur.Load().syn
 	writeJSON(w, http.StatusOK, SynopsisResponse{
-		Nodes:       s.syn.NumNodes(),
-		ValueNodes:  s.syn.NumValueNodes(),
-		Edges:       s.syn.NumEdges(),
-		StructBytes: s.syn.StructBytes(),
-		ValueBytes:  s.syn.ValueBytes(),
-		TotalBytes:  s.syn.TotalBytes(),
+		Nodes:       syn.NumNodes(),
+		ValueNodes:  syn.NumValueNodes(),
+		Edges:       syn.NumEdges(),
+		StructBytes: syn.StructBytes(),
+		ValueBytes:  syn.ValueBytes(),
+		TotalBytes:  syn.TotalBytes(),
 	})
+}
+
+// handleReload implements POST /admin/reload: re-read the synopsis
+// through the configured source and hot swap it in. 412 when no source
+// is configured; the response is the completed SwapEvent.
+func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
+	ev, err := s.Reload(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSource) {
+			status = http.StatusPreconditionFailed
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ev)
+}
+
+// handleRebuild implements POST /admin/rebuild: rebuild the synopsis
+// from the resident document with (optionally) new budgets and hot swap
+// it in. The body is optional. With "async":true the rebuild runs in
+// the background and 202 returns immediately; otherwise the response is
+// the completed SwapEvent. 409 while another rebuild runs, 412 without
+// a resident document.
+func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	var req RebuildRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	opts := RebuildOptions{
+		StructBudget: req.StructBudget,
+		ValueBudget:  req.ValueBudget,
+		Reason:       req.Reason,
+	}
+	if req.Async {
+		if s.doc == nil {
+			httpError(w, http.StatusPreconditionFailed, ErrNoDocument.Error())
+			return
+		}
+		go func() {
+			// Outcome and error land in RebuildStatus (GET /debug/synopsis).
+			_, _ = s.Rebuild(context.Background(), opts)
+		}()
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "rebuild started"})
+		return
+	}
+	ev, err := s.Rebuild(r.Context(), opts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrRebuildInProgress):
+			status = http.StatusConflict
+		case errors.Is(err, ErrNoDocument):
+			status = http.StatusPreconditionFailed
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ev)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

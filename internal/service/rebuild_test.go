@@ -1,0 +1,581 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xcluster/internal/accuracy"
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// testTree parses testDoc into the tree form WithDocument wants.
+func testTree(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	tree, err := xmltree.Parse(strings.NewReader(testDoc()), xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// coldAnswers builds a brand-new synopsis from the document with the
+// given budgets and answers the workload with a cache-less estimator:
+// the bit-for-bit ground truth a post-rebuild service must reproduce.
+func coldAnswers(t *testing.T, tree *xmltree.Tree, bstr, bval int, qs []*query.Query) []float64 {
+	t.Helper()
+	ref, err := core.BuildReference(tree, core.ReferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := core.XClusterBuild(ref, core.BuildOptions{StructBudget: bstr, ValueBudget: bval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sequentialAnswers(syn, qs)
+}
+
+func TestReloadSwapsGeneration(t *testing.T) {
+	syn := newTestSynopsis(t)
+	qs := parseWorkload(t)
+	want := sequentialAnswers(syn, qs)
+
+	var loads, swapsA, swapsB atomic.Int64
+	svc := New(syn,
+		WithSynopsisSource(func(ctx context.Context) (*core.Synopsis, error) {
+			loads.Add(1)
+			return newTestSynopsis(t), nil
+		}),
+		// Repeated WithOnSwap options chain.
+		WithOnSwap(func(ev SwapEvent) { swapsA.Add(1) }),
+		WithOnSwap(func(ev SwapEvent) { swapsB.Add(1) }),
+	)
+	if g := svc.Generation(); g != 0 {
+		t.Fatalf("initial generation = %d, want 0", g)
+	}
+	ev, err := svc.Reload(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.OldGeneration != 0 || ev.NewGeneration != 1 || ev.Reason != "reload" {
+		t.Fatalf("swap event %+v", ev)
+	}
+	if loads.Load() != 1 || swapsA.Load() != 1 || swapsB.Load() != 1 {
+		t.Fatalf("loads=%d swapsA=%d swapsB=%d, want 1/1/1", loads.Load(), swapsA.Load(), swapsB.Load())
+	}
+	if g := svc.Generation(); g != 1 {
+		t.Fatalf("generation after reload = %d, want 1", g)
+	}
+	// The reloaded synopsis came from the same document and budgets, so
+	// estimates stay bit-for-bit identical across the swap.
+	for i, q := range qs {
+		got, err := svc.Estimate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("post-reload %s = %v, want %v", testWorkload[i], got, want[i])
+		}
+	}
+	if st := svc.Stats(); st.Generation != 1 || st.Swaps != 1 {
+		t.Fatalf("stats generation=%d swaps=%d, want 1/1", st.Generation, st.Swaps)
+	}
+
+	// Without a source, Reload fails typed.
+	if _, err := New(newTestSynopsis(t)).Reload(context.Background()); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("no-source reload: %v, want ErrNoSource", err)
+	}
+}
+
+func TestRebuildBitForBit(t *testing.T) {
+	tree := testTree(t)
+	qs := parseWorkload(t)
+	svc := New(newTestSynopsis(t), WithDocument(tree))
+
+	ev, err := svc.Rebuild(context.Background(), RebuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NewGeneration != 1 || ev.Reason != "rebuild" {
+		t.Fatalf("swap event %+v", ev)
+	}
+	st := svc.RebuildStatus()
+	if st.Running || st.Phase != PhaseIdle || st.LastOutcome != "ok" || st.LastGeneration != 1 {
+		t.Fatalf("rebuild status %+v", st)
+	}
+	// The request carried no budgets, so the rebuild inherited the
+	// current fingerprint's (512/512 from newTestSynopsis). Post-swap
+	// estimates must be bit-for-bit what a cold estimator over the same
+	// document and budgets produces.
+	want := coldAnswers(t, tree, 512, 512, qs)
+	for i, q := range qs {
+		got, err := svc.Estimate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("post-rebuild %s = %v, want cold %v", testWorkload[i], got, want[i])
+		}
+	}
+	fp := svc.Synopsis().Fingerprint()
+	if fp.StructBudget != 512 || fp.ValueBudget != 512 {
+		t.Fatalf("rebuilt budgets %d/%d, want 512/512", fp.StructBudget, fp.ValueBudget)
+	}
+	if fp.DocHash == 0 || fp.BuiltAtUnix == 0 {
+		t.Fatalf("rebuilt fingerprint not stamped: %+v", fp)
+	}
+
+	// Explicit budgets win over the inherited ones.
+	ev, err = svc.Rebuild(context.Background(), RebuildOptions{StructBudget: 2048, ValueBudget: 2048, Reason: "resize"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NewGeneration != 2 || ev.Reason != "resize" {
+		t.Fatalf("resize swap event %+v", ev)
+	}
+	if fp := svc.Synopsis().Fingerprint(); fp.StructBudget != 2048 || fp.ValueBudget != 2048 {
+		t.Fatalf("resized budgets %d/%d, want 2048/2048", fp.StructBudget, fp.ValueBudget)
+	}
+	want = coldAnswers(t, tree, 2048, 2048, qs)
+	for i, q := range qs {
+		if got, _ := svc.Estimate(context.Background(), q); got != want[i] {
+			t.Fatalf("post-resize %s = %v, want cold %v", testWorkload[i], got, want[i])
+		}
+	}
+}
+
+func TestRebuildErrors(t *testing.T) {
+	// No resident document: typed failure, nothing swapped.
+	svc := New(newTestSynopsis(t))
+	if _, err := svc.Rebuild(context.Background(), RebuildOptions{}); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("no-document rebuild: %v, want ErrNoDocument", err)
+	}
+	if g := svc.Generation(); g != 0 {
+		t.Fatalf("generation moved to %d on failed rebuild", g)
+	}
+
+	// A cancelled context aborts the rebuild; the old generation keeps
+	// serving and the failure lands in RebuildStatus.
+	svc2 := New(newTestSynopsis(t), WithDocument(testTree(t)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc2.Rebuild(ctx, RebuildOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rebuild: %v, want context.Canceled", err)
+	}
+	st := svc2.RebuildStatus()
+	if st.LastOutcome != "error" || st.LastError == "" {
+		t.Fatalf("status after cancelled rebuild %+v", st)
+	}
+	if g := svc2.Generation(); g != 0 {
+		t.Fatalf("generation moved to %d on cancelled rebuild", g)
+	}
+	// The service still answers.
+	if _, err := svc2.Estimate(context.Background(), query.MustParse("//book")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapInvalidatesCachesAndPlans proves the swap drops both the
+// result and the plan cache, and that traced estimates never mix plans
+// across generations: every trace's PlanGeneration equals its
+// Generation, before and after the swap.
+func TestSwapInvalidatesCachesAndPlans(t *testing.T) {
+	tree := testTree(t)
+	qs := parseWorkload(t)
+	svc := New(newTestSynopsis(t), WithDocument(tree))
+
+	// Populate both caches on the old generation and hold its estimator
+	// the way a pinned in-flight request would.
+	oldEst := svc.Estimator()
+	for _, q := range qs {
+		if _, tr, err := svc.EstimateTraced(context.Background(), q); err != nil {
+			t.Fatal(err)
+		} else if tr.Generation != 0 || tr.PlanGeneration != 0 {
+			t.Fatalf("pre-swap trace generations %d/%d, want 0/0", tr.Generation, tr.PlanGeneration)
+		}
+	}
+	if oldEst.CacheStats().Len == 0 || oldEst.PlanCacheStats().Len == 0 {
+		t.Fatalf("caches not populated: %+v %+v", oldEst.CacheStats(), oldEst.PlanCacheStats())
+	}
+
+	if _, err := svc.Rebuild(context.Background(), RebuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outgoing estimator's caches were invalidated by the swap, so a
+	// straggler holding it cannot be served anything computed against
+	// the retired generation.
+	if n := oldEst.CacheStats().Len; n != 0 {
+		t.Fatalf("old result cache still holds %d entries after swap", n)
+	}
+	if n := oldEst.PlanCacheStats().Len; n != 0 {
+		t.Fatalf("old plan cache still holds %d entries after swap", n)
+	}
+
+	// Post-swap traces run entirely inside generation 1: fresh compiles,
+	// never a generation-0 plan.
+	newEst := svc.Estimator()
+	if newEst == oldEst {
+		t.Fatal("swap did not replace the estimator")
+	}
+	for i, q := range qs {
+		_, tr, err := svc.EstimateTraced(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Generation != 1 {
+			t.Fatalf("%s: post-swap trace generation %d, want 1", testWorkload[i], tr.Generation)
+		}
+		if tr.PlanGeneration != tr.Generation {
+			t.Fatalf("%s: plan generation %d crossed into estimate generation %d",
+				testWorkload[i], tr.PlanGeneration, tr.Generation)
+		}
+		if tr.ResultCacheHit || tr.PlanCacheHit {
+			t.Fatalf("%s: first post-swap run hit a cache (result=%v plan=%v)",
+				testWorkload[i], tr.ResultCacheHit, tr.PlanCacheHit)
+		}
+	}
+}
+
+// TestRebuildSingleFlight: concurrent rebuilds collapse to one winner;
+// the rest fail fast with ErrRebuildInProgress and nothing stacks.
+func TestRebuildSingleFlight(t *testing.T) {
+	svc := New(newTestSynopsis(t), WithDocument(testTree(t)))
+	const callers = 8
+	var ok, busy atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := svc.Rebuild(context.Background(), RebuildOptions{})
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrRebuildInProgress):
+				busy.Add(1)
+			default:
+				t.Errorf("rebuild: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load() < 1 {
+		t.Fatalf("no rebuild succeeded (ok=%d busy=%d)", ok.Load(), busy.Load())
+	}
+	if ok.Load()+busy.Load() != callers {
+		t.Fatalf("ok=%d busy=%d, want %d total", ok.Load(), busy.Load(), callers)
+	}
+	if g := svc.Generation(); g != uint64(ok.Load()) {
+		t.Fatalf("generation %d after %d successful rebuilds", g, ok.Load())
+	}
+}
+
+// TestHammerWhileSwapping drives 32 goroutines of estimates while the
+// synopsis is rebuilt and hot swapped underneath them. Run under -race.
+// Every request must succeed, every answer must be bit-for-bit the
+// sequential ground truth (the rebuilds use the same document and
+// budgets, so old and new generations agree), and no trace may pair an
+// estimate with a plan from another generation.
+func TestHammerWhileSwapping(t *testing.T) {
+	tree := testTree(t)
+	syn := newTestSynopsis(t)
+	qs := parseWorkload(t)
+	want := sequentialAnswers(syn, qs)
+	svc := New(syn, WithDocument(tree), WithWorkers(4))
+
+	const goroutines = 32
+	const rounds = 30
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(qs)
+				v, tr, err := svc.EstimateTraced(context.Background(), qs[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if v != want[i] {
+					errs <- fmt.Errorf("goroutine %d: %s = %v, want %v", g, testWorkload[i], v, want[i])
+					return
+				}
+				if tr.PlanGeneration != tr.Generation {
+					errs <- fmt.Errorf("goroutine %d: plan generation %d vs estimate generation %d",
+						g, tr.PlanGeneration, tr.Generation)
+					return
+				}
+				// Batches pin one slot: a swap mid-batch must not split
+				// the batch across generations.
+				if r%7 == 0 {
+					batch := qs[:3]
+					vs, trs, err := svc.EstimateBatchTraced(context.Background(), batch)
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: batch: %v", g, err)
+						return
+					}
+					for j, bv := range vs {
+						if bv != want[j] {
+							errs <- fmt.Errorf("goroutine %d: batch[%d] = %v, want %v", g, j, bv, want[j])
+							return
+						}
+					}
+					gen := trs[0].Generation
+					for j, btr := range trs {
+						if btr.Generation != gen || btr.PlanGeneration != gen {
+							errs <- fmt.Errorf("goroutine %d: batch[%d] generations %d/%d split from batch generation %d",
+								g, j, btr.Generation, btr.PlanGeneration, gen)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+
+	close(start)
+	// Swap repeatedly while the hammer runs.
+	const swaps = 4
+	for i := 0; i < swaps; i++ {
+		if _, err := svc.Rebuild(context.Background(), RebuildOptions{}); err != nil {
+			t.Fatalf("rebuild %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := svc.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d failed requests under swap load", st.Failed)
+	}
+	if st.Generation != swaps || st.Swaps != swaps {
+		t.Fatalf("generation=%d swaps=%d, want %d/%d", st.Generation, st.Swaps, swaps, swaps)
+	}
+}
+
+// TestAdminRebuildHTTP is the acceptance path over the wire: POST
+// /admin/rebuild lands while 32 goroutines hammer POST /estimate, with
+// zero failed requests; /debug/synopsis reports the new generation and
+// the rebuild outcome; post-swap estimates are bit-for-bit a cold
+// build's answers; the lifecycle metrics are exported.
+func TestAdminRebuildHTTP(t *testing.T) {
+	tree := testTree(t)
+	syn := newTestSynopsis(t)
+	qs := parseWorkload(t)
+	want := sequentialAnswers(syn, qs)
+	svc := New(syn, WithDocument(tree), WithWorkers(4))
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	estBody, _ := json.Marshal(EstimateRequest{Queries: testWorkload})
+	checkEstimate := func(code int, body []byte) error {
+		if code != http.StatusOK {
+			return fmt.Errorf("POST /estimate: %d: %s", code, body)
+		}
+		var er EstimateResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			return fmt.Errorf("POST /estimate: %v", err)
+		}
+		if len(er.Results) != len(testWorkload) {
+			return fmt.Errorf("POST /estimate: %d results", len(er.Results))
+		}
+		for i, res := range er.Results {
+			if res.Error != "" || res.Selectivity == nil {
+				return fmt.Errorf("query %q failed: %q", res.Query, res.Error)
+			}
+			if *res.Selectivity != want[i] {
+				return fmt.Errorf("query %q = %v, want %v", res.Query, *res.Selectivity, want[i])
+			}
+		}
+		return nil
+	}
+
+	const goroutines = 32
+	const rounds = 10
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				if err := checkEstimate(post("/estimate", string(estBody))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+
+	// The rebuild lands mid-hammer.
+	code, body := post("/admin/rebuild", `{"reason":"acceptance"}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /admin/rebuild: %d: %s", code, body)
+	}
+	var ev SwapEvent
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.NewGeneration != 1 || ev.Reason != "acceptance" {
+		t.Fatalf("rebuild swap event %+v", ev)
+	}
+	// A rebuild against a service without a second document is busy at
+	// most transiently; an immediate duplicate while idle succeeds, so
+	// exercise the 409 path with a concurrent pair instead: one sync
+	// call is already done, so just verify the endpoint rejects garbage.
+	if code, _ := post("/admin/rebuild", `{"struct_budget":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("malformed rebuild body: %d, want 400", code)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := svc.Stats(); st.Failed != 0 {
+		t.Fatalf("%d failed requests during rebuild", st.Failed)
+	}
+
+	// /debug/synopsis reports the new generation and the outcome.
+	resp, err := http.Get(srv.URL + "/debug/synopsis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg SynopsisDebugResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dbg.Version.Generation != 1 {
+		t.Fatalf("/debug/synopsis generation %d, want 1", dbg.Version.Generation)
+	}
+	if dbg.Version.DocHash == "" || dbg.Version.StructBudget != 512 || dbg.Version.ValueBudget != 512 {
+		t.Fatalf("/debug/synopsis version %+v", dbg.Version)
+	}
+	if dbg.Rebuild.LastOutcome != "ok" || dbg.Rebuild.LastGeneration != 1 {
+		t.Fatalf("/debug/synopsis rebuild %+v", dbg.Rebuild)
+	}
+
+	// Post-swap estimates are bit-for-bit a cold build's answers.
+	cold := coldAnswers(t, tree, 512, 512, qs)
+	for i, q := range qs {
+		got, err := svc.Estimate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cold[i] {
+			t.Fatalf("post-swap %s = %v, want cold %v", testWorkload[i], got, cold[i])
+		}
+	}
+
+	// Async mode: 202 now, generation bump eventually.
+	code, body = post("/admin/rebuild", `{"async":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async rebuild: %d: %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Generation() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("async rebuild never landed; status %+v", svc.RebuildStatus())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The lifecycle metrics are exported.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"xcluster_synopsis_generation 2",
+		`xcluster_rebuilds_total{outcome="ok"} 2`,
+		"xcluster_rebuild_seconds_count 2",
+		"xcluster_synopsis_swaps_total 2",
+	} {
+		if !bytes.Contains(metrics, []byte(series)) {
+			t.Fatalf("/metrics missing %q:\n%s", series, metrics)
+		}
+	}
+
+	// /admin/reload without a configured source: 412, still serving.
+	if code, _ := post("/admin/reload", ""); code != http.StatusPreconditionFailed {
+		t.Fatalf("reload without source: %d, want 412", code)
+	}
+}
+
+// TestRebuildOnDrift: a drift-flag transition triggers a background
+// rebuild when WithRebuildOnDrift is set.
+func TestRebuildOnDrift(t *testing.T) {
+	tree := testTree(t)
+	var drifts atomic.Int64
+	svc := New(newTestSynopsis(t),
+		WithDocument(tree),
+		WithRebuildOnDrift(),
+		WithAccuracy(
+			accuracy.WithWindow(4),
+			accuracy.WithDriftFactor(2),
+			accuracy.WithMinDelta(0.01),
+			accuracy.WithOnDrift(func(ev accuracy.DriftEvent) { drifts.Add(1) }),
+		),
+	)
+	q := query.MustParse("//book[year>1990]")
+	// Establish an accurate baseline, then let the window fill with
+	// large errors: the false→true transition fires the rebuild.
+	for i := 0; i < 8; i++ {
+		svc.Monitor().Observe(q, 100, 100)
+	}
+	for i := 0; i < 4; i++ {
+		svc.Monitor().Observe(q, 100, 1000)
+	}
+	if drifts.Load() == 0 {
+		t.Fatal("drift callback never fired")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Generation() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drift-triggered rebuild never landed; status %+v", svc.RebuildStatus())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := svc.RebuildStatus(); st.LastOutcome != "ok" {
+		t.Fatalf("drift rebuild status %+v", st)
+	}
+}

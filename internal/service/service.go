@@ -49,23 +49,28 @@ func WithTimeout(d time.Duration) Option {
 	return func(s *Service) { s.timeout = d }
 }
 
-// WithCacheCapacity sets the shared estimator's query-result cache
-// capacity (<= 0 disables caching).
+// WithCacheCapacity sets the estimator query-result cache capacity
+// (<= 0 disables caching). The setting is part of the service's stored
+// estimator configuration: every estimator the lifecycle installs — the
+// initial one and every reload/rebuild replacement — is configured
+// identically.
 func WithCacheCapacity(n int) Option {
-	return func(s *Service) { s.est.SetCacheCapacity(n) }
+	return func(s *Service) { s.cacheCap, s.cacheCapSet = n, true }
 }
 
-// WithPlanCacheCapacity sets the shared estimator's compiled-plan cache
-// capacity (<= 0 disables plan caching, so every uncached estimate
-// recompiles).
+// WithPlanCacheCapacity sets the estimator compiled-plan cache capacity
+// (<= 0 disables plan caching, so every uncached estimate recompiles).
+// Applied to every estimator the lifecycle installs, like
+// WithCacheCapacity.
 func WithPlanCacheCapacity(n int) Option {
-	return func(s *Service) { s.est.SetPlanCacheCapacity(n) }
+	return func(s *Service) { s.planCap, s.planCapSet = n, true }
 }
 
 // WithUninformedSel sets the estimator's selectivity for predicates on
-// unsummarized type-matching clusters.
+// unsummarized type-matching clusters. Applied to every estimator the
+// lifecycle installs.
 func WithUninformedSel(sel float64) Option {
-	return func(s *Service) { s.est.UninformedSel = sel }
+	return func(s *Service) { s.uninformedSel = sel }
 }
 
 // WithRegistry makes the service emit into a caller-owned metrics
@@ -119,14 +124,43 @@ func WithAccuracy(opts ...accuracy.MonitorOption) Option {
 	return func(s *Service) { s.monOpts = append(s.monOpts, opts...) }
 }
 
-// Service is a concurrent estimation service over one immutable
-// synopsis. All methods are safe for concurrent use.
+// Service is a concurrent estimation service over an immutable synopsis
+// generation. All methods are safe for concurrent use.
+//
+// The synopsis and its estimator live in an atomically swappable slot:
+// Reload and Rebuild install a replacement generation without stopping
+// the serving path (see lifecycle.go). Each estimate pins the slot it
+// started on, so in-flight requests finish coherently on the old
+// generation while new requests see the new one.
 type Service struct {
-	syn     *core.Synopsis
-	est     *core.Estimator
+	// cur is the serving slot (synopsis + estimator + install time).
+	// Always non-nil after New.
+	cur     atomic.Pointer[slot]
 	workers int
 	timeout time.Duration
 	start   time.Time
+
+	// Stored estimator configuration, replayed onto every estimator the
+	// lifecycle installs so generations only differ by their synopsis.
+	cacheCap      int
+	cacheCapSet   bool
+	planCap       int
+	planCapSet    bool
+	uninformedSel float64
+
+	// Lifecycle state: swapMu serializes installs, gen numbers them,
+	// rebuilding single-flights Rebuild, source re-reads the synopsis
+	// for Reload, onSwap observes transitions. See lifecycle.go.
+	swapMu         sync.Mutex
+	rebuilding     atomic.Bool
+	source         func(context.Context) (*core.Synopsis, error)
+	onSwap         func(SwapEvent)
+	rebuildOnDrift bool
+	rbMu           sync.Mutex
+	rb             RebuildStatus
+	defaultBstr    int
+	defaultBval    int
+	refOpts        core.ReferenceOptions
 
 	// reg aggregates every metric the service and its estimator emit;
 	// slow is the optional slow-query ring (nil when disabled).
@@ -154,19 +188,22 @@ type Service struct {
 	batchQueries *obs.Counter
 	slowTotal    *obs.Counter
 	inflight     *obs.Gauge
+	genGauge     *obs.Gauge     // xcluster_synopsis_generation
+	rebuildsOK   *obs.Counter   // xcluster_rebuilds_total{outcome="ok"}
+	rebuildsErr  *obs.Counter   // xcluster_rebuilds_total{outcome="error"}
+	rebuildHist  *obs.Histogram // xcluster_rebuild_seconds
+	swaps        *obs.Counter   // xcluster_synopsis_swaps_total
 
 	// inflightWG tracks in-flight Estimate/EstimateBatch calls so Drain
 	// can wait for them during graceful shutdown.
 	inflightWG sync.WaitGroup
 }
 
-// New returns a service over the synopsis. The service owns a shared
-// estimator configured by the options; configuration after New is not
-// synchronized.
+// New returns a service over the synopsis. The service owns the
+// estimator of each installed generation, configured by the options;
+// configuration after New is not synchronized.
 func New(syn *core.Synopsis, opts ...Option) *Service {
 	s := &Service{
-		syn:     syn,
-		est:     core.NewEstimator(syn),
 		workers: runtime.GOMAXPROCS(0),
 		start:   time.Now(),
 	}
@@ -177,8 +214,26 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 		s.reg = obs.NewRegistry()
 	}
 	s.wireMetrics()
-	s.mon = accuracy.NewMonitor(append(
-		[]accuracy.MonitorOption{accuracy.WithMonitorRegistry(s.reg)}, s.monOpts...)...)
+	// Install the initial generation. The artifact keeps whatever
+	// generation its fingerprint carries (0 for fresh builds and legacy
+	// files); only swaps advance it.
+	s.cur.Store(s.newSlot(syn))
+	s.genGauge.Set(float64(syn.Fingerprint().Generation))
+	s.rb.Phase = PhaseIdle
+	monOpts := []accuracy.MonitorOption{accuracy.WithMonitorRegistry(s.reg)}
+	monOpts = append(monOpts, s.monOpts...)
+	if s.rebuildOnDrift {
+		monOpts = append(monOpts, accuracy.WithOnDrift(func(ev accuracy.DriftEvent) {
+			// Busy and no-document outcomes land in RebuildStatus; drift
+			// rebuilds are best-effort by design.
+			go func() {
+				_, _ = s.Rebuild(context.Background(), RebuildOptions{
+					Reason: "drift:" + ev.Class.String(),
+				})
+			}()
+		}))
+	}
+	s.mon = accuracy.NewMonitor(monOpts...)
 	if s.truth == nil && s.doc != nil {
 		ev := query.NewEvaluator(s.doc)
 		s.truth = func(ctx context.Context, q *query.Query) (float64, error) {
@@ -211,8 +266,9 @@ func (s *Service) Close() {
 	}
 }
 
-// wireMetrics registers help text, resolves the hot-path series, and
-// points the estimator's metric sink at the registry.
+// wireMetrics registers help text and resolves the hot-path series.
+// (Each generation's estimator gets its metric sink pointed at the
+// registry by newSlot.)
 func (s *Service) wireMetrics() {
 	r := s.reg
 	r.Help("xcluster_requests_total", "Estimate queries answered, by outcome.")
@@ -229,6 +285,10 @@ func (s *Service) wireMetrics() {
 	r.Help("xcluster_shadow_sampled_total", "Estimates selected for shadow exact evaluation.")
 	r.Help("xcluster_shadow_observed_total", "Shadow evaluations that completed and reached the accuracy monitor.")
 	r.Help("xcluster_shadow_dropped_total", "Sampled estimates lost to overload, deadline expiry, or evaluator errors.")
+	r.Help("xcluster_synopsis_generation", "Build generation of the currently served synopsis.")
+	r.Help("xcluster_rebuilds_total", "Synopsis rebuilds attempted, by outcome.")
+	r.Help("xcluster_rebuild_seconds", "End-to-end wall time of successful synopsis rebuilds (build through swap).")
+	r.Help("xcluster_synopsis_swaps_total", "Synopsis hot swaps performed (reloads and rebuilds).")
 	r.Help(core.MetricPipelineStageSeconds, "Wall time per estimation pipeline stage.")
 	r.Help(core.MetricCacheLookupsTotal, "Estimate-pipeline cache lookups, by cache and outcome.")
 	r.Help(core.MetricBuildPhaseSeconds, "Synopsis build phase wall time.")
@@ -239,7 +299,11 @@ func (s *Service) wireMetrics() {
 	s.batchQueries = r.Counter("xcluster_batch_queries_total", "")
 	s.slowTotal = r.Counter("xcluster_slow_queries_total", "")
 	s.inflight = r.Gauge("xcluster_inflight_estimates", "")
-	s.est.SetMetricSink(r)
+	s.genGauge = r.Gauge("xcluster_synopsis_generation", "")
+	s.rebuildsOK = r.Counter("xcluster_rebuilds_total", `outcome="ok"`)
+	s.rebuildsErr = r.Counter("xcluster_rebuilds_total", `outcome="error"`)
+	s.rebuildHist = r.Histogram("xcluster_rebuild_seconds", "", nil)
+	s.swaps = r.Counter("xcluster_synopsis_swaps_total", "")
 }
 
 // syncRegistry mirrors scrape-time state into the registry: the
@@ -248,19 +312,20 @@ func (s *Service) wireMetrics() {
 // size, and uptime. Called before every /metrics render.
 func (s *Service) syncRegistry() {
 	r := s.reg
+	sl := s.cur.Load()
 	for _, c := range []struct {
 		label string
 		stats core.CacheStats
 	}{
-		{`cache="result"`, s.est.CacheStats()},
-		{`cache="plan"`, s.est.PlanCacheStats()},
+		{`cache="result"`, sl.est.CacheStats()},
+		{`cache="plan"`, sl.est.PlanCacheStats()},
 	} {
 		r.Counter("xcluster_estimator_cache_hits_total", c.label).Store(c.stats.Hits)
 		r.Counter("xcluster_estimator_cache_misses_total", c.label).Store(c.stats.Misses)
 		r.Gauge("xcluster_estimator_cache_entries", c.label).Set(float64(c.stats.Len))
 	}
-	r.Gauge("xcluster_synopsis_bytes", `component="struct"`).Set(float64(s.syn.StructBytes()))
-	r.Gauge("xcluster_synopsis_bytes", `component="value"`).Set(float64(s.syn.ValueBytes()))
+	r.Gauge("xcluster_synopsis_bytes", `component="struct"`).Set(float64(sl.syn.StructBytes()))
+	r.Gauge("xcluster_synopsis_bytes", `component="value"`).Set(float64(sl.syn.ValueBytes()))
 	r.Gauge("xcluster_uptime_seconds", "").Set(time.Since(s.start).Seconds())
 	if s.shadow != nil {
 		st := s.shadow.Stats()
@@ -272,12 +337,14 @@ func (s *Service) syncRegistry() {
 	}
 }
 
-// Synopsis returns the served synopsis.
-func (s *Service) Synopsis() *core.Synopsis { return s.syn }
+// Synopsis returns the currently served synopsis generation.
+func (s *Service) Synopsis() *core.Synopsis { return s.cur.Load().syn }
 
-// Estimator returns the shared estimator (for callers that want direct
-// access, e.g. Explain).
-func (s *Service) Estimator() *core.Estimator { return s.est }
+// Estimator returns the current generation's estimator (for callers
+// that want direct access, e.g. Explain). A hot swap replaces it; hold
+// the returned pointer across related calls if cross-call consistency
+// matters.
+func (s *Service) Estimator() *core.Estimator { return s.cur.Load().est }
 
 // Registry returns the service's metrics registry.
 func (s *Service) Registry() *obs.Registry { return s.reg }
@@ -309,16 +376,19 @@ func (s *Service) EstimateTraced(ctx context.Context, q *query.Query) (float64, 
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	return s.estimateOne(ctx, q)
+	return s.estimateOne(ctx, s.cur.Load(), q)
 }
 
-// estimateOne runs one traced estimate, recording latency, counters,
-// and — above the threshold — a slow-query log entry.
-func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, *core.EstimateTrace, error) {
+// estimateOne runs one traced estimate against the pinned slot,
+// recording latency, counters, and — above the threshold — a slow-query
+// log entry. The caller pins the slot so one logical operation (a
+// single estimate, or a whole batch) runs coherently on one generation
+// even while a hot swap installs the next.
+func (s *Service) estimateOne(ctx context.Context, sl *slot, q *query.Query) (float64, *core.EstimateTrace, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	t0 := time.Now()
-	v, tr, err := s.est.SelectivityTraced(ctx, q)
+	v, tr, err := sl.est.SelectivityTraced(ctx, q)
 	if err != nil {
 		s.failed.Inc()
 		return 0, tr, err
@@ -326,7 +396,7 @@ func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, *co
 	d := time.Since(t0)
 	s.reqHist.Observe(d.Seconds())
 	s.served.Inc()
-	s.recordSlow(q, tr, v, d)
+	s.recordSlow(sl, q, tr, v, d)
 	if s.shadow != nil {
 		// Pair the trace's estimate with exact ground truth off the
 		// serving path; Offer never blocks.
@@ -339,12 +409,12 @@ func (s *Service) estimateOne(ctx context.Context, q *query.Query) (float64, *co
 // its latency reaches the threshold. The plan summary is resolved
 // through the plan cache, so the extra cost is paid only by queries
 // already slow enough to log.
-func (s *Service) recordSlow(q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
+func (s *Service) recordSlow(sl *slot, q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
 	if s.slow == nil || d < s.slow.Threshold() {
 		return
 	}
 	planSummary := ""
-	if pq, err := s.est.Prepare(q); err == nil {
+	if pq, err := sl.est.Prepare(q); err == nil {
 		planSummary = pq.PlanSummary()
 	}
 	spans := make([]obs.SlowLogSpan, len(tr.Spans))
@@ -396,7 +466,10 @@ func (s *Service) EstimateBatchTraced(ctx context.Context, qs []*query.Query) ([
 	}
 	s.batches.Inc()
 	s.batchQueries.Add(uint64(len(qs)))
-	if err := s.prepareShapes(qs); err != nil {
+	// Pin one generation for the whole batch: every query of the batch
+	// is answered by the same synopsis even if a swap lands mid-batch.
+	sl := s.cur.Load()
+	if err := s.prepareShapes(sl, qs); err != nil {
 		return out, trs, err
 	}
 	workers := s.workers
@@ -405,7 +478,7 @@ func (s *Service) EstimateBatchTraced(ctx context.Context, qs []*query.Query) ([
 	}
 	if workers <= 1 {
 		for i, q := range qs {
-			v, tr, err := s.estimateOne(ctx, q)
+			v, tr, err := s.estimateOne(ctx, sl, q)
 			trs[i] = tr
 			if err != nil {
 				return out, trs, fmt.Errorf("service: query %d: %w", i, err)
@@ -430,7 +503,7 @@ func (s *Service) EstimateBatchTraced(ctx context.Context, qs []*query.Query) ([
 				if i >= len(qs) || stop.Load() {
 					return
 				}
-				v, tr, err := s.estimateOne(ctx, qs[i])
+				v, tr, err := s.estimateOne(ctx, sl, qs[i])
 				trs[i] = tr
 				if err != nil {
 					errMu.Lock()
@@ -452,8 +525,8 @@ func (s *Service) EstimateBatchTraced(ctx context.Context, qs []*query.Query) ([
 // prepareShapes compiles each distinct query shape in the batch once,
 // seeding the estimator's plan cache. With the plan cache disabled this
 // is a no-op (per-call compilation is what the caller asked for).
-func (s *Service) prepareShapes(qs []*query.Query) error {
-	if s.est.PlanCacheStats().Capacity == 0 {
+func (s *Service) prepareShapes(sl *slot, qs []*query.Query) error {
+	if sl.est.PlanCacheStats().Capacity == 0 {
 		return nil
 	}
 	seen := make(map[string]struct{}, len(qs))
@@ -463,7 +536,7 @@ func (s *Service) prepareShapes(qs []*query.Query) error {
 			continue
 		}
 		seen[key] = struct{}{}
-		if _, err := s.est.Prepare(q); err != nil {
+		if _, err := sl.est.Prepare(q); err != nil {
 			return fmt.Errorf("service: query %d: %w", i, err)
 		}
 	}
@@ -493,7 +566,7 @@ func (s *Service) Drain(ctx context.Context) error {
 // resolved frontier clusters, bound term weights, and subproblem
 // structure of the canonicalize → compile → execute pipeline.
 func (s *Service) ExplainPlan(q *query.Query) (string, error) {
-	pq, err := s.est.Prepare(q)
+	pq, err := s.cur.Load().est.Prepare(q)
 	if err != nil {
 		return "", err
 	}
@@ -503,10 +576,11 @@ func (s *Service) ExplainPlan(q *query.Query) (string, error) {
 // Explain returns up to limit formatted embeddings (query variables →
 // synopsis clusters with per-embedding tuple counts) for one query.
 func (s *Service) Explain(q *query.Query, limit int) []string {
-	ems := s.est.Explain(q, limit)
+	sl := s.cur.Load()
+	ems := sl.est.Explain(q, limit)
 	out := make([]string, len(ems))
 	for i, em := range ems {
-		out[i] = s.syn.FormatEmbedding(em)
+		out[i] = sl.syn.FormatEmbedding(em)
 	}
 	return out
 }
@@ -532,16 +606,25 @@ type Stats struct {
 	SlowQueries uint64
 	// Uptime is the time since New.
 	Uptime time.Duration
+	// Generation is the build generation of the synopsis currently
+	// serving; Swaps counts the hot swaps performed since New.
+	Generation uint64
+	Swaps      uint64
 }
 
 // Stats snapshots the counters, cache state, and latency percentiles.
+// Cache statistics belong to the current generation's estimator (they
+// reset on a hot swap, together with the caches themselves).
 func (s *Service) Stats() Stats {
 	snap := s.reqHist.Snapshot()
+	sl := s.cur.Load()
 	return Stats{
 		Served:         s.served.Value(),
 		Failed:         s.failed.Value(),
-		Cache:          s.est.CacheStats(),
-		PlanCache:      s.est.PlanCacheStats(),
+		Cache:          sl.est.CacheStats(),
+		PlanCache:      sl.est.PlanCacheStats(),
+		Generation:     sl.syn.Fingerprint().Generation,
+		Swaps:          s.swaps.Value(),
 		P50:            secondsDuration(snap.P50),
 		P95:            secondsDuration(snap.P95),
 		P99:            secondsDuration(snap.P99),

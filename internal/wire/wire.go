@@ -78,19 +78,49 @@ func (w *Writer) String(s string) {
 func (w *Writer) Bytes(p []byte) { w.write(p) }
 
 // Reader decodes primitives from an underlying stream with a sticky
-// error.
+// error. When the total input size is known — detected automatically
+// for in-memory readers exposing Len(), or declared with SetLimit —
+// length prefixes are validated against the remaining input before any
+// allocation, so a corrupt or truncated file fails with a sticky error
+// instead of a huge allocation.
 type Reader struct {
-	r   *bufio.Reader
-	err error
+	r *bufio.Reader
+	// n counts bytes consumed so far.
+	n int64
+	// limit is the total input size when known, -1 otherwise; the
+	// remaining input is limit - n.
+	limit int64
+	err   error
 }
 
-// NewReader wraps r.
+// NewReader wraps r. If r exposes the number of unread bytes via a
+// Len() int method (bytes.Reader, bytes.Buffer, strings.Reader), that
+// size becomes the reader's limit and every length prefix is validated
+// against it.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	rr := &Reader{r: bufio.NewReader(r), limit: -1}
+	if l, ok := r.(interface{ Len() int }); ok {
+		rr.limit = int64(l.Len())
+	}
+	return rr
+}
+
+// SetLimit declares the total input size in bytes (e.g. a file's Stat
+// size), enabling length-prefix validation on streams that cannot
+// report their own length. A negative n removes the limit.
+func (r *Reader) SetLimit(n int64) {
+	if n < 0 {
+		r.limit = -1
+		return
+	}
+	r.limit = n
 }
 
 // Err returns the first read error.
 func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of bytes consumed so far.
+func (r *Reader) Len() int64 { return r.n }
 
 func (r *Reader) fail(err error) {
 	if r.err == nil {
@@ -98,12 +128,40 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// remaining returns the unread input size, or -1 when unknown.
+func (r *Reader) remaining() int64 {
+	if r.limit < 0 {
+		return -1
+	}
+	if r.n > r.limit {
+		return 0
+	}
+	return r.limit - r.n
+}
+
+// ReadByte implements io.ByteReader over the counted stream (it feeds
+// the varint decoders; callers should prefer Int/Uint).
+func (r *Reader) ReadByte() (byte, error) {
+	b, err := r.r.ReadByte()
+	if err == nil {
+		r.n++
+	}
+	return b, err
+}
+
+// full reads exactly len(b) bytes, counting them.
+func (r *Reader) full(b []byte) error {
+	n, err := io.ReadFull(r.r, b)
+	r.n += int64(n)
+	return err
+}
+
 // Int decodes a zig-zag varint.
 func (r *Reader) Int() int {
 	if r.err != nil {
 		return 0
 	}
-	v, err := binary.ReadVarint(r.r)
+	v, err := binary.ReadVarint(r)
 	if err != nil {
 		r.fail(fmt.Errorf("wire: varint: %w", err))
 		return 0
@@ -116,7 +174,7 @@ func (r *Reader) Uint() uint64 {
 	if r.err != nil {
 		return 0
 	}
-	v, err := binary.ReadUvarint(r.r)
+	v, err := binary.ReadUvarint(r)
 	if err != nil {
 		r.fail(fmt.Errorf("wire: uvarint: %w", err))
 		return 0
@@ -130,7 +188,7 @@ func (r *Reader) Float() float64 {
 		return 0
 	}
 	var b [8]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+	if err := r.full(b[:]); err != nil {
 		r.fail(fmt.Errorf("wire: float: %w", err))
 		return 0
 	}
@@ -140,7 +198,15 @@ func (r *Reader) Float() float64 {
 // maxStringLen guards against corrupt length prefixes.
 const maxStringLen = 1 << 24
 
-// String decodes a length-prefixed string.
+// stringChunk bounds the per-step allocation of a length-prefixed read
+// on streams of unknown size: a lying prefix costs at most one chunk
+// before the truncated stream surfaces as a sticky error.
+const stringChunk = 64 << 10
+
+// String decodes a length-prefixed string. The length is validated
+// against maxStringLen, and against the remaining input when the total
+// size is known; otherwise the body is read in bounded chunks so a
+// corrupt prefix cannot force a large up-front allocation.
 func (r *Reader) String() string {
 	n := r.Uint()
 	if r.err != nil {
@@ -150,12 +216,48 @@ func (r *Reader) String() string {
 		r.fail(fmt.Errorf("wire: string length %d too large", n))
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r.r, b); err != nil {
-		r.fail(fmt.Errorf("wire: string body: %w", err))
+	if rem := r.remaining(); rem >= 0 && int64(n) > rem {
+		r.fail(fmt.Errorf("wire: string length %d exceeds remaining input %d", n, rem))
 		return ""
 	}
+	if n <= stringChunk {
+		b := make([]byte, n)
+		if err := r.full(b); err != nil {
+			r.fail(fmt.Errorf("wire: string body: %w", err))
+			return ""
+		}
+		return string(b)
+	}
+	b := make([]byte, 0, stringChunk)
+	var chunk [stringChunk]byte
+	for got := uint64(0); got < n; {
+		step := n - got
+		if step > stringChunk {
+			step = stringChunk
+		}
+		if err := r.full(chunk[:step]); err != nil {
+			r.fail(fmt.Errorf("wire: string body: %w", err))
+			return ""
+		}
+		b = append(b, chunk[:step]...)
+		got += step
+	}
 	return string(b)
+}
+
+// Raw consumes exactly n bytes and returns them (nil after a failure).
+// n is a caller-chosen constant (e.g. a magic length), not untrusted
+// input.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if err := r.full(b); err != nil {
+		r.fail(fmt.Errorf("wire: raw read: %w", err))
+		return nil
+	}
+	return b
 }
 
 // Expect consumes len(want) bytes and fails unless they match.
@@ -164,7 +266,7 @@ func (r *Reader) Expect(want []byte) {
 		return
 	}
 	b := make([]byte, len(want))
-	if _, err := io.ReadFull(r.r, b); err != nil {
+	if err := r.full(b); err != nil {
 		r.fail(fmt.Errorf("wire: magic: %w", err))
 		return
 	}

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -86,6 +88,104 @@ func TestStringLengthGuard(t *testing.T) {
 	_ = r.String()
 	if r.Err() == nil {
 		t.Fatal("oversized string accepted")
+	}
+}
+
+func TestStringLengthExceedsRemaining(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint(1 << 20) // claims 1 MiB follows
+	w.Bytes([]byte("short"))
+	_ = w.Flush()
+	// bytes.Reader exposes Len, so the limit is detected automatically
+	// and the lying prefix is rejected before any body allocation.
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("length beyond remaining input accepted")
+	}
+	if got := r.String(); got != "" || r.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+func TestSetLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint(1 << 20)
+	_ = w.Flush()
+	// Simulate a stream of unknown type whose size the caller learned
+	// out of band (e.g. from os.File.Stat).
+	r := NewReader(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	if r.remaining() != -1 {
+		t.Fatal("limit detected on opaque reader")
+	}
+	r.SetLimit(int64(buf.Len()))
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("length beyond declared limit accepted")
+	}
+}
+
+func TestChunkedStringTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint(maxStringLen) // largest admissible lie
+	w.Bytes(make([]byte, 3*stringChunk/2))
+	_ = w.Flush()
+	// An opaque stream cannot validate the length up front; the chunked
+	// read must fail after the real bytes run out instead of allocating
+	// the full claimed length.
+	r := NewReader(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("truncated chunked string accepted")
+	}
+}
+
+func TestLargeStringRoundTrip(t *testing.T) {
+	long := strings.Repeat("x", 3*stringChunk+17)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.String(long)
+	_ = w.Flush()
+	r := NewReader(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	if got := r.String(); got != long {
+		t.Fatalf("chunked round trip corrupted string (len %d vs %d)", len(got), len(long))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderCountsBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Int(-42)
+	w.Uint(300)
+	w.Float(1.5)
+	w.String("hello")
+	_ = w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	_ = r.Int()
+	_ = r.Uint()
+	_ = r.Float()
+	_ = r.String()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Len() != int64(buf.Len()) {
+		t.Fatalf("consumed %d bytes, stream has %d", r.Len(), buf.Len())
+	}
+}
+
+func TestRaw(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("MAGICrest")))
+	if got := r.Raw(5); string(got) != "MAGIC" {
+		t.Fatalf("Raw = %q", got)
+	}
+	if got := r.Raw(99); got != nil || r.Err() == nil {
+		t.Fatal("Raw past EOF did not fail")
 	}
 }
 

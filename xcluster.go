@@ -281,10 +281,18 @@ func WriteSynopsis(w io.Writer, s *Synopsis) error {
 }
 
 // ReadSynopsis deserializes a synopsis written by WriteSynopsis and
-// validates its invariants.
+// validates its invariants. Every known format version decodes (legacy
+// version-1 files yield a zero Fingerprint); unknown versions fail with
+// ErrSynopsisVersion.
 func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	return core.ReadSynopsis(r)
 }
+
+// Fingerprint is a synopsis's build identity — source-document hash,
+// byte budgets, build options, generation counter, and build time —
+// carried in the serialized format and stamped by the builders. Access
+// it with Synopsis.Fingerprint.
+type Fingerprint = core.Fingerprint
 
 // WriteDOT renders the synopsis as a Graphviz digraph for visual
 // inspection of the structure-value clustering.
