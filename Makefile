@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench bench-json
+.PHONY: check build test bench bench-json bench-build
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -26,3 +26,10 @@ bench:
 bench-json:
 	$(GO) run ./cmd/xclusterbench -experiment prepared > BENCH_prepared.json
 	@echo "wrote BENCH_prepared.json"
+
+# Machine-readable build benchmark: serial vs parallel vs memoized
+# synopsis construction (with the bit-for-bit identity check) as JSON
+# at the repo root.
+bench-build:
+	$(GO) run ./cmd/xclusterbench -experiment build > BENCH_build.json
+	@echo "wrote BENCH_build.json"

@@ -23,6 +23,10 @@ trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/...
 "$bindir/xclusterd" -version
 
+# The -short -race pass includes the build differential test
+# (internal/harness TestBuildExperimentDifferential): serial, parallel
+# and memoized construction must agree bit-for-bit, with the worker
+# pool under the race detector.
 go test -short -race ./...
 go test ./...
 
@@ -30,7 +34,9 @@ go test ./...
 # ordinary tests (no fuzzing engine, just the f.Add seeds + testdata).
 go test -run=Fuzz ./...
 
-# Machine-readable benchmark artifact: the prepared-execution
-# experiment (performance + per-class accuracy) as JSON at the repo
-# root, kept for comparison across revisions.
+# Machine-readable benchmark artifacts, kept at the repo root for
+# comparison across revisions: the prepared-execution experiment
+# (performance + per-class accuracy) and the build experiment (serial
+# vs parallel vs memoized construction).
 make bench-json
+make bench-build

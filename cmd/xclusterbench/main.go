@@ -10,6 +10,7 @@
 //	xclusterbench -figure 8a            # Figure 8(a) only
 //	xclusterbench -experiment negative  # negative-workload check
 //	xclusterbench -experiment prepared  # compile-once speedup (JSON)
+//	xclusterbench -experiment build     # serial vs parallel vs memoized construction (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -34,8 +35,8 @@ func main() {
 	points := flag.Int("points", 6, "structural budget points in the Figure 8 sweep")
 	table := flag.String("table", "", "run one table: 1 or 2")
 	figure := flag.String("figure", "", "run one figure: 8a, 8b or 9")
-	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget, throughput or prepared")
-	workers := flag.Int("workers", 0, "goroutines for -experiment throughput (default GOMAXPROCS)")
+	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget, throughput, prepared or build")
+	workers := flag.Int("workers", 0, "goroutines for -experiment throughput/build (default GOMAXPROCS)")
 	csvOut := flag.Bool("csv", false, "emit Figure 8 rows as CSV (for plotting)")
 	flag.Parse()
 
@@ -159,5 +160,15 @@ func main() {
 			rows = append(rows, r...)
 		}
 		fmt.Println(harness.FormatAutoBudget(rows))
+	}
+	if *experiment == "build" { // opt-in: wall-clock sensitive
+		var rows []harness.BuildRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.BuildExperiment(load(name), cfg, *workers)
+			check(err)
+			rows = append(rows, r)
+		}
+		fmt.Fprintln(os.Stderr, harness.FormatBuild(rows))
+		fmt.Println(harness.FormatBuildJSON(rows))
 	}
 }

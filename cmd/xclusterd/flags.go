@@ -28,6 +28,7 @@ type config struct {
 	bstr           int
 	bval           int
 	rebuildOnDrift bool
+	buildWorkers   int
 }
 
 const usageLine = "usage: xclusterd -syn syn.bin [-addr :8080] [-doc doc.xml] [-bstr N -bval N] [-shadow-rate 0.01] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]"
@@ -59,6 +60,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	fs.IntVar(&c.bstr, "bstr", 0, "structural byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.IntVar(&c.bval, "bval", 0, "value-summary byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.BoolVar(&c.rebuildOnDrift, "rebuild-on-drift", false, "trigger a background rebuild when accuracy drift is detected (requires -doc)")
+	fs.IntVar(&c.buildWorkers, "build-workers", 0, "merge-candidate evaluation goroutines for /admin/rebuild (default GOMAXPROCS; never changes the built synopsis)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -110,6 +112,12 @@ func (c *config) validate(set map[string]bool) error {
 	}
 	if (set["bstr"] || set["bval"]) && c.docPath == "" {
 		return fmt.Errorf("-bstr/-bval configure /admin/rebuild and require -doc")
+	}
+	if c.buildWorkers < 0 {
+		return fmt.Errorf("-build-workers must be non-negative (0 = GOMAXPROCS), got %d", c.buildWorkers)
+	}
+	if set["build-workers"] && c.docPath == "" {
+		return fmt.Errorf("-build-workers configures /admin/rebuild and requires -doc")
 	}
 	return nil
 }

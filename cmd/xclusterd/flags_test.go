@@ -51,6 +51,8 @@ func TestParseFlagsRejections(t *testing.T) {
 		{"negative workers", []string{"-syn", "s", "-workers", "-2"}, "-workers must be non-negative"},
 		{"negative timeout", []string{"-syn", "s", "-timeout", "-1s"}, "-timeout must be non-negative"},
 		{"drift without doc", []string{"-syn", "s", "-rebuild-on-drift"}, "requires -doc"},
+		{"negative build workers", []string{"-syn", "s", "-doc", "d", "-build-workers", "-1"}, "-build-workers must be non-negative"},
+		{"build workers without doc", []string{"-syn", "s", "-build-workers", "4"}, "requires -doc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,5 +81,19 @@ func TestParseFlagsDefaultBudgetsAllowed(t *testing.T) {
 	}
 	if c.bstr != 0 || c.bval != 0 {
 		t.Fatalf("budgets %d/%d, want 0/0", c.bstr, c.bval)
+	}
+}
+
+// TestParseFlagsBuildWorkers: explicit zero means "auto" and is valid,
+// as is any positive count (with -doc present).
+func TestParseFlagsBuildWorkers(t *testing.T) {
+	for _, n := range []string{"0", "4"} {
+		c, err := parseFlags([]string{"-syn", "s.bin", "-doc", "d.xml", "-build-workers", n}, io.Discard)
+		if err != nil {
+			t.Fatalf("-build-workers %s rejected: %v", n, err)
+		}
+		if got := c.buildWorkers; got < 0 {
+			t.Fatalf("buildWorkers = %d", got)
+		}
 	}
 }

@@ -127,14 +127,25 @@ func main() {
 			return loadSynopsis(cfg.synPath)
 		}),
 		service.WithOnSwap(func(ev service.SwapEvent) {
-			logger.Info("synopsis swapped",
+			args := []any{
 				"old_generation", ev.OldGeneration,
 				"new_generation", ev.NewGeneration,
 				"reason", ev.Reason,
 				"nodes", ev.Nodes,
 				"total_bytes", ev.TotalBytes,
 				"duration", ev.Duration.String(),
-			)
+			}
+			if ev.Build != nil {
+				args = append(args,
+					"build_workers", ev.Build.Workers,
+					"merges", ev.Build.Merges,
+					"pairs_evaluated", ev.Build.PairsEvaluated,
+					"memo_hit_rate", ev.Build.MemoHitRate(),
+					"merge_seconds", ev.Build.MergeSeconds,
+					"value_seconds", ev.Build.ValueSeconds,
+				)
+			}
+			logger.Info("synopsis swapped", args...)
 		}),
 	}
 	if cfg.workers > 0 {
@@ -151,6 +162,9 @@ func main() {
 	}
 	if cfg.rebuildOnDrift {
 		opts = append(opts, service.WithRebuildOnDrift())
+	}
+	if cfg.buildWorkers > 0 {
+		opts = append(opts, service.WithBuildWorkers(cfg.buildWorkers))
 	}
 	if cfg.docPath != "" {
 		df, err := os.Open(cfg.docPath)

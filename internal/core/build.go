@@ -47,9 +47,27 @@ type BuildOptions struct {
 	RandomMerges bool
 	// RandomSeed seeds RandomMerges.
 	RandomSeed int64
+	// Workers caps the goroutines evaluating candidate Δs (0 means
+	// GOMAXPROCS, 1 is fully serial; negative is rejected). The worker
+	// count never changes the result: candidate evaluations are pure,
+	// order is restored before ranking, and the pool's strict total
+	// order (marginal loss, then mass, then (u, v)) makes the merge
+	// sequence identical at any parallelism.
+	Workers int
+	// NoDeltaMemo disables the pair-Δ memo table, recomputing every
+	// candidate from scratch — the pre-memo behavior, kept for ablation
+	// and as the benchmark baseline.
+	NoDeltaMemo bool
+	// Progress, when non-nil, receives periodic BuildProgress snapshots
+	// from the build goroutine (synchronously; keep the callback cheap).
+	Progress func(BuildProgress)
+	// Stats, when non-nil, is filled with the build's BuildStats when
+	// XClusterBuildContext returns successfully.
+	Stats *BuildStats
 	// Metrics, when non-nil, receives per-phase build wall times
-	// (MetricBuildPhaseSeconds with phase="merge"/"value") from
-	// XClusterBuildContext.
+	// (MetricBuildPhaseSeconds with phase="merge"/"value") and the
+	// BuildStats counters (MetricBuildPairsTotal, MetricBuildMergesTotal)
+	// from XClusterBuildContext.
 	Metrics MetricSink
 	// GlobalMetric replaces the paper's localized Δ with the
 	// TreeSketch-style global clustering metric: the increase in
@@ -74,7 +92,64 @@ func (o BuildOptions) withDefaults() BuildOptions {
 	if o.PairWindow == 0 {
 		o.PairWindow = 8
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// BuildStats summarizes the work one XClusterBuild performed. Retrieve
+// it via BuildOptions.Stats.
+type BuildStats struct {
+	// Workers is the resolved Δ-evaluation worker count.
+	Workers int `json:"workers"`
+	// Merges is the number of node merges applied.
+	Merges int64 `json:"merges"`
+	// PairsEvaluated counts full Δ evaluations (memo misses included).
+	PairsEvaluated int64 `json:"pairs_evaluated"`
+	// MemoHits counts candidate lookups answered from the pair-Δ memo
+	// table instead of a fresh evaluation.
+	MemoHits int64 `json:"memo_hits"`
+	// MemoPartialHits counts lookups where the cached clustering-error
+	// term was reused and only the integer structural savings were
+	// recomputed (an endpoint's parent set changed, its centroid state
+	// did not; see delta.go).
+	MemoPartialHits int64 `json:"memo_partial_hits"`
+	// PoolBuilds counts candidate-pool (re)constructions.
+	PoolBuilds int64 `json:"pool_builds"`
+	// MergeSeconds and ValueSeconds are the per-phase wall times.
+	MergeSeconds float64 `json:"merge_seconds"`
+	ValueSeconds float64 `json:"value_seconds"`
+}
+
+// MemoHitRate is the fraction of candidate lookups the memo table
+// absorbed (0 when the memo is disabled).
+func (s BuildStats) MemoHitRate() float64 {
+	hits := s.MemoHits + s.MemoPartialHits
+	lookups := hits + s.PairsEvaluated
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// BuildProgress is a point-in-time snapshot of a running build,
+// delivered to BuildOptions.Progress from the build goroutine.
+type BuildProgress struct {
+	// Phase is "merge" or "value".
+	Phase string `json:"phase"`
+	// StructBytes/ValueBytes are the current sizes; the budgets are the
+	// targets the phase is compressing toward.
+	StructBytes  int `json:"struct_bytes"`
+	StructBudget int `json:"struct_budget"`
+	ValueBytes   int `json:"value_bytes"`
+	ValueBudget  int `json:"value_budget"`
+	// Merges, PairsEvaluated and MemoHits mirror BuildStats so far.
+	Merges         int64 `json:"merges"`
+	PairsEvaluated int64 `json:"pairs_evaluated"`
+	MemoHits       int64 `json:"memo_hits"`
+	// Elapsed is the wall time since the build started.
+	Elapsed time.Duration `json:"elapsed"`
 }
 
 // XClusterBuild runs the paper's two-phase construction (Figure 5) on a
@@ -93,10 +168,12 @@ func XClusterBuild(ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
 // huge builds abort within a bounded amount of work of ctx ending. The
 // error is ctx.Err() when cancellation caused the abort.
 func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions) (*Synopsis, error) {
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: build workers must be non-negative (0 = GOMAXPROCS), got %d", opts.Workers)
+	}
 	opts = opts.withDefaults()
 	buildStart := time.Now()
-	s := ref.Clone()
-	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int), ctx: ctx}
+	b := newBuilder(ctx, ref.Clone(), opts)
 	if opts.GlobalMetric {
 		b.ref = ref
 		b.members = make(map[NodeID][]NodeID, len(ref.nodes))
@@ -114,24 +191,56 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 	} else if err := b.mergePhase(); err != nil {
 		return nil, err
 	}
+	b.stats.MergeSeconds = time.Since(phaseStart).Seconds()
 	if opts.Metrics != nil {
-		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="merge"`, time.Since(phaseStart).Seconds())
+		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="merge"`, b.stats.MergeSeconds)
 	}
 	phaseStart = time.Now()
 	if err := b.valuePhase(); err != nil {
 		return nil, err
 	}
+	b.stats.ValueSeconds = time.Since(phaseStart).Seconds()
 	if opts.Metrics != nil {
-		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="value"`, time.Since(phaseStart).Seconds())
+		opts.Metrics.Observe(MetricBuildPhaseSeconds, `phase="value"`, b.stats.ValueSeconds)
+		opts.Metrics.Add(MetricBuildMergesTotal, "", float64(b.stats.Merges))
+		opts.Metrics.Add(MetricBuildPairsTotal, `outcome="computed"`, float64(b.stats.PairsEvaluated))
+		opts.Metrics.Add(MetricBuildPairsTotal, `outcome="memo_hit"`, float64(b.stats.MemoHits))
+		opts.Metrics.Add(MetricBuildPairsTotal, `outcome="memo_partial"`, float64(b.stats.MemoPartialHits))
 	}
+	if opts.Stats != nil {
+		*opts.Stats = b.stats
+	}
+	s := b.s
 	// Stamp the build identity: the doc hash and option summary arrive
 	// via the reference's fingerprint (through Clone); the compression
-	// pass adds its budgets and timing.
+	// pass adds its budgets and timing. Workers and the memo are
+	// deliberately absent: they must not affect the output, so they are
+	// not part of the synopsis identity.
 	s.fp.StructBudget = opts.StructBudget
 	s.fp.ValueBudget = opts.ValueBudget
 	s.fp.BuiltAtUnix = time.Now().Unix()
 	s.fp.BuildNanos = time.Since(buildStart).Nanoseconds()
 	return s, nil
+}
+
+// newBuilder assembles a builder with its incremental indexes. The memo
+// table serves only the default Δ policy: the global metric's Δ depends
+// on the whole reference-to-cluster assignment (any merge anywhere
+// shifts it), which the neighborhood version stamps do not cover.
+func newBuilder(ctx context.Context, s *Synopsis, opts BuildOptions) *builder {
+	b := &builder{
+		s: s, opts: opts, ctx: ctx,
+		ver:   make(map[NodeID]int),
+		cver:  make(map[NodeID]int),
+		start: time.Now(),
+	}
+	b.stats.Workers = opts.Workers
+	if !opts.NoDeltaMemo && !opts.GlobalMetric && !opts.RandomMerges {
+		b.memo = make(map[pairKey]memoEntry)
+		b.sigs = make(map[NodeID]sigEntry)
+		b.evalc = &evalCache{}
+	}
+	return b
 }
 
 // randomMergePhase merges uniformly random compatible pairs until the
@@ -169,6 +278,7 @@ func (b *builder) randomMergePhase() error {
 		if _, err := b.s.Merge(members[i].ID, members[j].ID); err != nil {
 			return fmt.Errorf("core: randomMergePhase: %w", err)
 		}
+		b.stats.Merges++
 	}
 	return nil
 }
@@ -182,6 +292,9 @@ func (b *builder) randomMergePhase() error {
 // budget while paying for one merge phase instead of len(budgets).
 // Results are returned in the order of structBudgets.
 func XClusterSweep(ref *Synopsis, structBudgets []int, valueBudget int, opts BuildOptions) ([]*Synopsis, error) {
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: build workers must be non-negative (0 = GOMAXPROCS), got %d", opts.Workers)
+	}
 	opts = opts.withDefaults()
 	if opts.RandomMerges || opts.GlobalMetric {
 		return nil, fmt.Errorf("core: XClusterSweep supports only the default policy")
@@ -191,8 +304,7 @@ func XClusterSweep(ref *Synopsis, structBudgets []int, valueBudget int, opts Bui
 	sort.Sort(sort.Reverse(sort.IntSlice(desc)))
 	minBudget := desc[len(desc)-1]
 
-	s := ref.Clone()
-	b := &builder{s: s, opts: opts, ver: make(map[NodeID]int)}
+	b := newBuilder(nil, ref.Clone(), opts)
 	b.opts.StructBudget = minBudget
 
 	snapshots := make(map[int]*Synopsis, len(desc))
@@ -223,17 +335,22 @@ func XClusterSweep(ref *Synopsis, structBudgets []int, valueBudget int, opts Bui
 	sort.Ints(distinct)
 	var wg sync.WaitGroup
 	next := make(chan int)
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
 	if workers > len(distinct) {
 		workers = len(distinct)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for budget := range next {
-				vb := &builder{s: snapshots[budget], opts: opts, ver: make(map[NodeID]int)}
-				vb.opts.ValueBudget = valueBudget
+				vopts := opts
+				vopts.ValueBudget = valueBudget
+				vopts.Progress = nil
+				vb := newBuilder(nil, snapshots[budget], vopts)
 				vb.valuePhase()
 			}
 		}()
@@ -263,14 +380,66 @@ type builder struct {
 	onMerge func()
 	// ver tracks node adjacency versions so queued candidates whose
 	// neighborhoods changed are lazily re-evaluated (the paper recomputes
-	// marginal losses in the merged nodes' neighborhood eagerly).
-	ver map[NodeID]int
+	// marginal losses in the merged nodes' neighborhood eagerly). cver
+	// tracks only centroid-affecting changes (a node's own children or
+	// summary) so the memo can keep a pair's error term across
+	// parent-side churn; see the invalidation rule in delta.go.
+	ver  map[NodeID]int
+	cver map[NodeID]int
+	// memo caches pair-Δ evaluations keyed by oriented pair, validated
+	// against ver stamps (nil when disabled; see delta.go).
+	memo map[pairKey]memoEntry
+	// sigs caches childSig per node version: the signature only changes
+	// when a node's child set does, which always bumps its version.
+	sigs map[NodeID]sigEntry
+	// evalc caches summary-derived state across Δ evaluations (nil when
+	// the memo is disabled; see delta.go).
+	evalc *evalCache
+	// groups indexes live node ids by merge-compatibility group in
+	// ascending id order, so follow-up pairing touches one group instead
+	// of scanning (and sorting) every node per merge. Group membership
+	// is invariant during the merge phase: Merge preserves label, value
+	// type and summary presence.
+	groups map[groupKey][]NodeID
+	// stats accumulates the BuildStats counters.
+	stats BuildStats
+	// start anchors BuildProgress.Elapsed.
+	start time.Time
 	// Global-metric state (GlobalMetric only): the reference synopsis,
 	// the reference nodes absorbed by each current cluster, and the
 	// inverse map.
 	ref      *Synopsis
 	members  map[NodeID][]NodeID
 	refToCur map[NodeID]NodeID
+}
+
+// sigEntry is one cached childSig, valid while the node's version holds.
+type sigEntry struct {
+	ver int
+	sig string
+}
+
+// emitProgress delivers a BuildProgress snapshot, when configured.
+// valueBytes < 0 means "compute it here" (it is an O(nodes) walk, only
+// worth doing when someone is listening).
+func (b *builder) emitProgress(phase string, valueBytes int) {
+	if b.opts.Progress == nil {
+		return
+	}
+	if valueBytes < 0 {
+		valueBytes = b.s.ValueBytes()
+	}
+	b.opts.Progress(BuildProgress{
+		Phase:          phase,
+		StructBytes:    b.s.StructBytes(),
+		StructBudget:   b.opts.StructBudget,
+		ValueBytes:     valueBytes,
+		ValueBudget:    b.opts.ValueBudget,
+		Merges:         b.stats.Merges,
+		PairsEvaluated: b.stats.PairsEvaluated,
+		MemoHits:       b.stats.MemoHits,
+		Elapsed:        time.Since(b.start),
+	})
 }
 
 // ---- candidate pool ----
@@ -315,51 +484,93 @@ func (h *candHeap) Pop() any {
 	return c
 }
 
-// evalCands computes Δ and marginal loss for proposed pairs in parallel,
-// dropping infeasible ones. Order is preserved.
+// evalCands resolves Δ and marginal loss for proposed pairs, dropping
+// infeasible ones. Order is preserved. Memo hits are answered serially;
+// the remaining misses are pure, read-only evaluations, so they fan out
+// over opts.Workers goroutines; results are stored back into the memo
+// serially. Slot i of the result belongs to pair i regardless of which
+// worker computed it, so worker count and scheduling cannot change the
+// candidate ranking.
 func (b *builder) evalCands(proposed []*mergeCand) []*mergeCand {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(proposed) {
-		workers = len(proposed)
+	results := make([]*mergeCand, len(proposed))
+	var misses []int
+	if b.memo != nil {
+		for i, p := range proposed {
+			if c, hit := b.memoLookup(p.u, p.v); hit {
+				results[i] = c
+			} else {
+				misses = append(misses, i)
+			}
+		}
+	} else {
+		misses = make([]int, len(proposed))
+		for i := range proposed {
+			misses[i] = i
+		}
+	}
+	workers := b.opts.Workers
+	if workers > len(misses) {
+		workers = len(misses)
 	}
 	if workers > 1 {
 		var wg sync.WaitGroup
 		next := make(chan int, workers)
-		results := make([]*mergeCand, len(proposed))
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = b.newCand(proposed[i].u, proposed[i].v)
+					results[i] = b.computeCand(proposed[i].u, proposed[i].v)
 				}
 			}()
 		}
-		for i := range proposed {
+		for _, i := range misses {
 			next <- i
 		}
 		close(next)
 		wg.Wait()
-		out := proposed[:0]
-		for _, c := range results {
-			if c != nil {
-				out = append(out, c)
-			}
+	} else {
+		for _, i := range misses {
+			results[i] = b.computeCand(proposed[i].u, proposed[i].v)
 		}
-		return out
+	}
+	b.stats.PairsEvaluated += int64(len(misses))
+	if b.memo != nil {
+		for _, i := range misses {
+			b.memoStore(proposed[i].u, proposed[i].v, results[i])
+		}
 	}
 	out := proposed[:0]
-	for _, p := range proposed {
-		if c := b.newCand(p.u, p.v); c != nil {
+	for _, c := range results {
+		if c != nil {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
-// newCand evaluates the merge (u, v), returning nil when it cannot be
-// applied.
+// newCand evaluates the merge (u, v) through the memo table, returning
+// nil when it cannot be applied. Serial callers only; parallel workers
+// go through computeCand and store afterwards.
 func (b *builder) newCand(u, v NodeID) *mergeCand {
+	if b.memo != nil {
+		if c, hit := b.memoLookup(u, v); hit {
+			return c
+		}
+		c := b.computeCand(u, v)
+		b.stats.PairsEvaluated++
+		b.memoStore(u, v, c)
+		return c
+	}
+	c := b.computeCand(u, v)
+	b.stats.PairsEvaluated++
+	return c
+}
+
+// computeCand evaluates the merge (u, v) from scratch, returning nil
+// when it cannot be applied. It is read-only against the builder, so
+// concurrent calls are safe.
+func (b *builder) computeCand(u, v NodeID) *mergeCand {
 	var (
 		delta float64
 		saved int
@@ -368,7 +579,7 @@ func (b *builder) newCand(u, v NodeID) *mergeCand {
 	if b.opts.GlobalMetric {
 		delta, saved, err = b.globalDelta(u, v)
 	} else {
-		delta, saved, err = b.s.MergeDelta(u, v, b.opts.AtomicCap)
+		delta, saved, err = b.s.mergeDeltaCached(u, v, b.opts.AtomicCap, b.evalc)
 	}
 	if err != nil {
 		return nil
@@ -427,7 +638,7 @@ func (b *builder) globalDelta(uid, vid NodeID) (float64, int, error) {
 	if !Compatible(u, v) {
 		return 0, 0, fmt.Errorf("core: globalDelta(%d,%d): incompatible", uid, vid)
 	}
-	wCentroid, _ := mergedEdges(u, v, placeholderID)
+	wCentroid := mergedChildren(u, v, placeholderID)
 	// Current centroids with u/v self-references remapped, so reference
 	// centroids are compared in the same coordinate system.
 	curCentroid := func(x *Node) map[NodeID]float64 {
@@ -489,10 +700,49 @@ func childSig(n *Node) string {
 	return sb.String()
 }
 
+// memberSort orders a candidate group by (childSig, Count, ID) — a
+// strict total order, so the result is unique — keeping the decorated
+// signature slice in lockstep with the nodes.
+type memberSort struct {
+	members []*Node
+	sigs    []string
+}
+
+func (m *memberSort) Len() int { return len(m.members) }
+func (m *memberSort) Swap(i, j int) {
+	m.members[i], m.members[j] = m.members[j], m.members[i]
+	m.sigs[i], m.sigs[j] = m.sigs[j], m.sigs[i]
+}
+func (m *memberSort) Less(i, j int) bool {
+	if m.sigs[i] != m.sigs[j] {
+		return m.sigs[i] < m.sigs[j]
+	}
+	if m.members[i].Count != m.members[j].Count {
+		return m.members[i].Count < m.members[j].Count
+	}
+	return m.members[i].ID < m.members[j].ID
+}
+
+// nodeSig returns childSig(n), served from the per-version signature
+// cache when enabled: a node's signature only changes when its child
+// set does, and every child-set change bumps the node's version.
+func (b *builder) nodeSig(n *Node) string {
+	if b.sigs == nil {
+		return childSig(n)
+	}
+	if e, ok := b.sigs[n.ID]; ok && e.ver == b.ver[n.ID] {
+		return e.sig
+	}
+	sig := childSig(n)
+	b.sigs[n.ID] = sigEntry{ver: b.ver[n.ID], sig: sig}
+	return sig
+}
+
 // buildPool implements build_pool (Figure 6): it proposes merge
 // candidates among label/type-compatible nodes at level <= l, keeping the
 // pool within Hm by evicting the highest marginal losses.
 func (b *builder) buildPool(l int, levels map[NodeID]int) *candHeap {
+	b.stats.PoolBuilds++
 	groups := make(map[groupKey][]*Node)
 	var keys []groupKey
 	for _, n := range b.s.Nodes() { // sorted by id: deterministic groups
@@ -510,16 +760,13 @@ func (b *builder) buildPool(l int, levels map[NodeID]int) *candHeap {
 		if len(members) < 2 {
 			continue
 		}
-		sort.Slice(members, func(i, j int) bool {
-			si, sj := childSig(members[i]), childSig(members[j])
-			if si != sj {
-				return si < sj
-			}
-			if members[i].Count != members[j].Count {
-				return members[i].Count < members[j].Count
-			}
-			return members[i].ID < members[j].ID
-		})
+		// Decorate with signatures once per member: recomputing them
+		// inside the comparator would cost O(m log m) string builds.
+		sigs := make([]string, len(members))
+		for i, n := range members {
+			sigs[i] = b.nodeSig(n)
+		}
+		sort.Sort(&memberSort{members: members, sigs: sigs})
 		for i := range members {
 			for j := i + 1; j <= i+b.opts.PairWindow && j < len(members); j++ {
 				cands = append(cands, &mergeCand{u: members[i].ID, v: members[j].ID})
@@ -559,11 +806,14 @@ func (b *builder) cancelled() error {
 
 func (b *builder) mergePhase() error {
 	opts := b.opts
+	b.initGroups()
+	defer b.emitProgress("merge", -1)
 	l := 1
 	for b.s.StructBytes() > opts.StructBudget {
 		if err := b.cancelled(); err != nil {
 			return err
 		}
+		b.memoSweep()
 		levels := b.s.Levels()
 		maxLvl := 0
 		for _, lv := range levels {
@@ -599,6 +849,9 @@ func (b *builder) mergePhase() error {
 				if err := b.cancelled(); err != nil {
 					return err
 				}
+				if pops%1024 == 0 {
+					b.emitProgress("merge", -1)
+				}
 			}
 			c := heap.Pop(pool).(*mergeCand)
 			u, v := b.s.nodes[c.u], b.s.nodes[c.v]
@@ -612,25 +865,13 @@ func (b *builder) mergePhase() error {
 				}
 				continue
 			}
-			w, err := b.s.Merge(c.u, c.v)
+			w, err := b.applyMerge(c.u, c.v)
 			if err != nil {
 				return fmt.Errorf("core: mergePhase: %w", err)
-			}
-			if b.opts.GlobalMetric {
-				b.members[w.ID] = append(b.members[c.u], b.members[c.v]...)
-				for _, r := range b.members[w.ID] {
-					b.refToCur[r] = w.ID
-				}
-				delete(b.members, c.u)
-				delete(b.members, c.v)
 			}
 			merged++
 			if lw := min(levels[c.u], levels[c.v]); lw > maxNewLevel {
 				maxNewLevel = lw
-			}
-			b.touchNeighborhood(w)
-			if b.onMerge != nil {
-				b.onMerge()
 			}
 			// Propose follow-up merges pairing w within its group.
 			b.pairNew(w, pool, l, levels)
@@ -648,31 +889,96 @@ func (b *builder) mergePhase() error {
 	return nil
 }
 
+// applyMerge performs the merge (u, v) and maintains the builder's
+// incremental state: version stamps (which double as memo
+// invalidation), the group index, global-metric membership, stats and
+// the sweep snapshot hook. Every merge the builder applies must go
+// through here.
+func (b *builder) applyMerge(u, v NodeID) (*Node, error) {
+	w, err := b.s.Merge(u, v)
+	if err != nil {
+		return nil, err
+	}
+	if b.opts.GlobalMetric {
+		b.members[w.ID] = append(b.members[u], b.members[v]...)
+		for _, r := range b.members[w.ID] {
+			b.refToCur[r] = w.ID
+		}
+		delete(b.members, u)
+		delete(b.members, v)
+	}
+	b.stats.Merges++
+	b.touchNeighborhood(w)
+	b.groupsOnMerge(u, v, w)
+	if b.onMerge != nil {
+		b.onMerge()
+	}
+	return w, nil
+}
+
 // touchNeighborhood bumps the versions of a freshly merged node and its
 // neighbors so queued candidates referencing them are re-evaluated.
+// These bumps are also the memo table's invalidation: they cover the
+// full dependency set of every Δ the merge could have changed (see the
+// invalidation rule in delta.go).
 func (b *builder) touchNeighborhood(w *Node) {
 	b.ver[w.ID]++
+	b.cver[w.ID]++
 	for c := range w.Children {
+		// Only the child's Parents changed: its centroid state (own
+		// children, count, summary) is intact, so cver stays put and
+		// memoized error terms involving it remain exact.
 		b.ver[c]++
 	}
 	for p := range w.Parents {
+		// The parent's child set changed: full invalidation.
 		b.ver[p]++
+		b.cver[p]++
 	}
 }
 
-// pairNew proposes up to PairWindow merges pairing the new node w with
-// other members of its group at the current level bound.
-func (b *builder) pairNew(w *Node, pool *candHeap, l int, levels map[NodeID]int) {
+// initGroups builds the merge-compatibility group index: live node ids
+// per group, ascending.
+func (b *builder) initGroups() {
+	b.groups = make(map[groupKey][]NodeID)
+	for _, n := range b.s.Nodes() { // sorted by id: ascending members
+		k := nodeGroup(n)
+		b.groups[k] = append(b.groups[k], n.ID)
+	}
+}
+
+// groupsOnMerge replaces u and v with w in their (shared) group. Merged
+// ids are fresh maxima, so appending w keeps the slice ascending.
+func (b *builder) groupsOnMerge(u, v NodeID, w *Node) {
+	if b.groups == nil {
+		return
+	}
 	k := nodeGroup(w)
+	ids := b.groups[k]
+	out := ids[:0]
+	for _, id := range ids {
+		if id != u && id != v {
+			out = append(out, id)
+		}
+	}
+	b.groups[k] = append(out, w.ID)
+}
+
+// pairNew proposes up to PairWindow merges pairing the new node w with
+// other members of its group at the current level bound. The group
+// index yields the same candidates, in the same ascending-id order, as
+// the full node scan it replaced — without sorting every live node on
+// every merge.
+func (b *builder) pairNew(w *Node, pool *candHeap, l int, levels map[NodeID]int) {
 	added := 0
-	for _, n := range b.s.Nodes() { // sorted by id: deterministic pairing
-		if n.ID == w.ID || nodeGroup(n) != k {
+	for _, id := range b.groups[nodeGroup(w)] {
+		if id == w.ID {
 			continue
 		}
-		if lv, ok := levels[n.ID]; ok && lv > l {
+		if lv, ok := levels[id]; ok && lv > l {
 			continue
 		}
-		if c := b.newCand(w.ID, n.ID); c != nil {
+		if c := b.newCand(w.ID, id); c != nil {
 			heap.Push(pool, c)
 			added++
 			if added >= b.opts.PairWindow {
@@ -761,6 +1067,7 @@ func (b *builder) valuePhase() error {
 	if cur <= budget {
 		return nil
 	}
+	defer func() { b.emitProgress("value", cur) }()
 	var h valHeap
 	for _, n := range b.s.Nodes() {
 		if c := b.newValCand(n, cur-budget); c != nil {
@@ -772,6 +1079,9 @@ func (b *builder) valuePhase() error {
 		if pops%256 == 0 {
 			if err := b.cancelled(); err != nil {
 				return err
+			}
+			if pops%1024 == 0 {
+				b.emitProgress("value", cur)
 			}
 		}
 		c := heap.Pop(&h).(*valCand)

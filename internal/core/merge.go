@@ -23,8 +23,27 @@ func Compatible(u, v *Node) bool {
 // average number of children per element of w. The second return value is
 // the parent set of w (u, v remapped likewise).
 func mergedEdges(u, v *Node, placeholder NodeID) (children map[NodeID]float64, parents map[NodeID]struct{}) {
+	children = mergedChildren(u, v, placeholder)
+	remap := func(id NodeID) NodeID {
+		if id == u.ID || id == v.ID {
+			return placeholder
+		}
+		return id
+	}
+	parents = make(map[NodeID]struct{}, len(u.Parents)+len(v.Parents))
+	for _, x := range []*Node{u, v} {
+		for p := range x.Parents {
+			parents[remap(p)] = struct{}{}
+		}
+	}
+	return children, parents
+}
+
+// mergedChildren is the child-centroid half of mergedEdges, for callers
+// that do not need the parent set (Δ evaluations run it per candidate).
+func mergedChildren(u, v *Node, placeholder NodeID) map[NodeID]float64 {
 	total := u.Count + v.Count
-	children = make(map[NodeID]float64, len(u.Children)+len(v.Children))
+	children := make(map[NodeID]float64, len(u.Children)+len(v.Children))
 	remap := func(id NodeID) NodeID {
 		if id == u.ID || id == v.ID {
 			return placeholder
@@ -45,13 +64,7 @@ func mergedEdges(u, v *Node, placeholder NodeID) (children map[NodeID]float64, p
 			children[remap(c)] += x.Count * x.Children[c] / total
 		}
 	}
-	parents = make(map[NodeID]struct{}, len(u.Parents)+len(v.Parents))
-	for _, x := range []*Node{u, v} {
-		for p := range x.Parents {
-			parents[remap(p)] = struct{}{}
-		}
-	}
-	return children, parents
+	return children
 }
 
 // Merge applies merge(S, u, v): it replaces clusters u and v with a new

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"xcluster/internal/core"
+)
+
+// BuildVariant is one configuration of the build experiment.
+type BuildVariant struct {
+	Name string `json:"name"`
+	// Workers is the resolved Δ-evaluation worker count; Memo reports
+	// whether the pair-Δ memo table was enabled.
+	Workers int  `json:"workers"`
+	Memo    bool `json:"memo"`
+	// Per-phase and total build wall times.
+	MergeSeconds float64 `json:"merge_seconds"`
+	ValueSeconds float64 `json:"value_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+	// Work counters from core.BuildStats.
+	Merges          int64   `json:"merges"`
+	PairsEvaluated  int64   `json:"pairs_evaluated"`
+	MemoHits        int64   `json:"memo_hits"`
+	MemoPartialHits int64   `json:"memo_partial_hits"`
+	MemoHitRate     float64 `json:"memo_hit_rate"`
+	PoolBuilds      int64   `json:"pool_builds"`
+}
+
+// BuildRow is one dataset of the build experiment: the same compression
+// run under every engine configuration, with the serial unmemoized
+// build as the baseline.
+type BuildRow struct {
+	Dataset string `json:"dataset"`
+	// Elements is the document size, RefNodes the reference synopsis
+	// size the merge phase starts from.
+	Elements int `json:"elements"`
+	RefNodes int `json:"ref_nodes"`
+	// StructBudget/ValueBudget are the compression targets.
+	StructBudget int `json:"struct_budget"`
+	ValueBudget  int `json:"value_budget"`
+	// Variants holds the per-configuration timings; the first entry is
+	// the serial baseline.
+	Variants []BuildVariant `json:"variants"`
+	// MergeSpeedup and TotalSpeedup compare the serial baseline against
+	// the full configuration (workers + memo), merge phase and
+	// end-to-end respectively.
+	MergeSpeedup float64 `json:"merge_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+	// Identical reports that every variant produced bit-for-bit the same
+	// synopsis (compared through the codec with build timestamps
+	// normalized). Anything but true is a bug.
+	Identical bool `json:"identical"`
+}
+
+// buildVariantSpecs returns the experiment grid. workers <= 0 resolves
+// to GOMAXPROCS. The serial baseline (one worker, no memo) matches the
+// engine before parallel + incremental construction landed.
+func buildVariantSpecs(workers int) []struct {
+	name    string
+	workers int
+	memo    bool
+} {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return []struct {
+		name    string
+		workers int
+		memo    bool
+	}{
+		{"serial", 1, false},
+		{"parallel", workers, false},
+		{"memo", 1, true},
+		{"parallel+memo", workers, true},
+	}
+}
+
+// BuildExperiment times synopsis construction on one dataset across the
+// engine configurations (serial, parallel, memoized, both), verifying
+// that every configuration produces bit-for-bit the same synopsis.
+// workers <= 0 uses GOMAXPROCS; the struct budget is the prepared
+// experiment's Bstr (reference/20) so numbers line up across reports.
+func BuildExperiment(d *Dataset, cfg Config, workers int) (BuildRow, error) {
+	cfg = cfg.forDataset(d.Name)
+	row := BuildRow{
+		Dataset:      d.Name,
+		Elements:     d.Tree.Len(),
+		RefNodes:     d.Ref.NumNodes(),
+		StructBudget: d.Ref.StructBytes() / 20,
+		ValueBudget:  cfg.ValueBudget(d),
+		Identical:    true,
+	}
+	var baseline []byte
+	for _, spec := range buildVariantSpecs(workers) {
+		var stats core.BuildStats
+		syn, err := core.XClusterBuild(d.Ref, core.BuildOptions{
+			StructBudget: row.StructBudget,
+			ValueBudget:  row.ValueBudget,
+			Workers:      spec.workers,
+			NoDeltaMemo:  !spec.memo,
+			Stats:        &stats,
+		})
+		if err != nil {
+			return BuildRow{}, fmt.Errorf("harness: build %s/%s: %w", d.Name, spec.name, err)
+		}
+		row.Variants = append(row.Variants, BuildVariant{
+			Name:            spec.name,
+			Workers:         stats.Workers,
+			Memo:            spec.memo,
+			MergeSeconds:    stats.MergeSeconds,
+			ValueSeconds:    stats.ValueSeconds,
+			TotalSeconds:    stats.MergeSeconds + stats.ValueSeconds,
+			Merges:          stats.Merges,
+			PairsEvaluated:  stats.PairsEvaluated,
+			MemoHits:        stats.MemoHits,
+			MemoPartialHits: stats.MemoPartialHits,
+			MemoHitRate:     stats.MemoHitRate(),
+			PoolBuilds:      stats.PoolBuilds,
+		})
+		// Bit-for-bit identity through the codec, with the wall-clock
+		// fingerprint fields normalized away.
+		fp := syn.Fingerprint()
+		fp.BuiltAtUnix, fp.BuildNanos = 0, 0
+		syn.SetFingerprint(fp)
+		var buf bytes.Buffer
+		if _, err := syn.WriteTo(&buf); err != nil {
+			return BuildRow{}, fmt.Errorf("harness: encode %s/%s: %w", d.Name, spec.name, err)
+		}
+		if baseline == nil {
+			baseline = buf.Bytes()
+		} else if !bytes.Equal(buf.Bytes(), baseline) {
+			row.Identical = false
+		}
+	}
+	serial, full := row.Variants[0], row.Variants[len(row.Variants)-1]
+	if full.MergeSeconds > 0 {
+		row.MergeSpeedup = serial.MergeSeconds / full.MergeSeconds
+	}
+	if full.TotalSeconds > 0 {
+		row.TotalSpeedup = serial.TotalSeconds / full.TotalSeconds
+	}
+	return row, nil
+}
+
+// FormatBuildJSON renders the experiment rows as indented JSON (the
+// machine-readable output of `xclusterbench -experiment build`,
+// i.e. BENCH_build.json).
+func FormatBuildJSON(rows []BuildRow) string {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err)
+	}
+	return string(b)
+}
+
+// FormatBuild renders the experiment rows as aligned text.
+func FormatBuild(rows []BuildRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Synopsis Construction (serial vs parallel vs memoized)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s: %d elements, %d reference nodes -> Bstr=%d Bval=%d (identical=%v)\n",
+			r.Dataset, r.Elements, r.RefNodes, r.StructBudget, r.ValueBudget, r.Identical)
+		fmt.Fprintf(&sb, "  %-14s %7s %10s %10s %12s %10s %8s\n",
+			"variant", "workers", "merge(s)", "total(s)", "pairs", "memo hits", "hit rate")
+		for _, v := range r.Variants {
+			fmt.Fprintf(&sb, "  %-14s %7d %10.3f %10.3f %12d %10d %7.1f%%\n",
+				v.Name, v.Workers, v.MergeSeconds, v.TotalSeconds,
+				v.PairsEvaluated, v.MemoHits, 100*v.MemoHitRate)
+		}
+		fmt.Fprintf(&sb, "  merge speedup %.1fx, total %.1fx\n", r.MergeSpeedup, r.TotalSpeedup)
+	}
+	return sb.String()
+}

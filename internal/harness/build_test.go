@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBuildExperimentDifferential is the engine's differential gate: on
+// both datasets, the serial, parallel, memoized, and parallel+memoized
+// configurations must produce bit-for-bit the same synopsis (compared
+// through the codec with build timestamps normalized). It runs in
+// -short mode on purpose — ci.sh exercises it under -race, where the
+// parallel variants' worker pools get their data-race audit.
+func TestBuildExperimentDifferential(t *testing.T) {
+	for _, name := range DatasetNames() {
+		d, err := NewDataset(name, smallCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		row, err := BuildExperiment(d, smallCfg(), 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !row.Identical {
+			t.Fatalf("%s: variants diverged — parallel/memoized builds are not bit-for-bit serial", name)
+		}
+		if len(row.Variants) != 4 {
+			t.Fatalf("%s: %d variants, want 4", name, len(row.Variants))
+		}
+		serial := row.Variants[0]
+		if serial.Name != "serial" || serial.Workers != 1 || serial.Memo {
+			t.Fatalf("%s: baseline variant %+v", name, serial)
+		}
+		if serial.MemoHits != 0 || serial.MemoPartialHits != 0 {
+			t.Fatalf("%s: unmemoized baseline recorded memo hits: %+v", name, serial)
+		}
+		for _, v := range row.Variants {
+			if v.Merges != serial.Merges {
+				t.Fatalf("%s/%s: %d merges, serial applied %d", name, v.Name, v.Merges, serial.Merges)
+			}
+			if v.TotalSeconds <= 0 {
+				t.Fatalf("%s/%s: no time recorded: %+v", name, v.Name, v)
+			}
+		}
+		// The memoized engine may only do less evaluation work, never
+		// more.
+		memo := row.Variants[2]
+		if memo.PairsEvaluated > serial.PairsEvaluated {
+			t.Fatalf("%s: memoized build evaluated %d pairs, serial only %d",
+				name, memo.PairsEvaluated, serial.PairsEvaluated)
+		}
+		if serial.PairsEvaluated > 0 && memo.MemoHits+memo.MemoPartialHits == 0 {
+			t.Fatalf("%s: memo enabled but never hit (%d serial evals)", name, serial.PairsEvaluated)
+		}
+	}
+}
+
+// TestBuildFormats sanity-checks the two renderings of the experiment.
+func TestBuildFormats(t *testing.T) {
+	rows := []BuildRow{{
+		Dataset: "IMDB", Elements: 10, RefNodes: 5,
+		StructBudget: 100, ValueBudget: 200,
+		Variants: []BuildVariant{
+			{Name: "serial", Workers: 1, MergeSeconds: 2, TotalSeconds: 3},
+			{Name: "parallel+memo", Workers: 8, MergeSeconds: 0.25, TotalSeconds: 0.5, MemoHits: 7, MemoHitRate: 0.5},
+		},
+		MergeSpeedup: 8, TotalSpeedup: 6, Identical: true,
+	}}
+	text := FormatBuild(rows)
+	for _, want := range []string{"IMDB", "serial", "parallel+memo", "8.0x", "identical=true"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+	var back []BuildRow
+	if err := json.Unmarshal([]byte(FormatBuildJSON(rows)), &back); err != nil {
+		t.Fatalf("JSON rendering does not round-trip: %v", err)
+	}
+	if len(back) != 1 || back[0].MergeSpeedup != 8 || !back[0].Identical {
+		t.Fatalf("round-tripped %+v", back)
+	}
+}

@@ -136,6 +136,10 @@ func (t *Tree) freq(s string) float64 {
 	return n.count
 }
 
+// Freq returns the document-frequency count of substring s, or -1 when
+// s is not fully retained. Freq("") is the string count.
+func (t *Tree) Freq(s string) float64 { return t.freq(s) }
+
 // longestPrefix returns the length of the longest prefix of s retained in
 // the tree.
 func (t *Tree) longestPrefix(s string) int {

@@ -67,6 +67,9 @@ type SwapEvent struct {
 	Duration time.Duration `json:"-"`
 	// DurationString mirrors Duration for the JSON rendering.
 	DurationString string `json:"duration"`
+	// Build carries the construction statistics when the swap came from
+	// a Rebuild (nil for reloads, whose synopsis was built elsewhere).
+	Build *core.BuildStats `json:"build,omitempty"`
 }
 
 // WithSynopsisSource configures where Reload re-reads the synopsis from
@@ -114,6 +117,13 @@ func WithReferenceOptions(o core.ReferenceOptions) Option {
 	return func(s *Service) { s.refOpts = o }
 }
 
+// WithBuildWorkers sets the number of goroutines Rebuild's compression
+// phase uses to evaluate merge candidates (0 = GOMAXPROCS). The count
+// affects only build speed, never the produced synopsis.
+func WithBuildWorkers(n int) Option {
+	return func(s *Service) { s.buildWorkers = n }
+}
+
 // Generation returns the build generation of the currently served
 // synopsis.
 func (s *Service) Generation() uint64 {
@@ -130,7 +140,7 @@ func (s *Service) Installed() time.Time {
 // the outgoing estimator's result and plan caches are invalidated in
 // one atomic epoch bump so nothing computed against the old generation
 // can be served again.
-func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration) SwapEvent {
+func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration, build *core.BuildStats) SwapEvent {
 	s.swapMu.Lock()
 	old := s.cur.Load()
 	fp := syn.Fingerprint()
@@ -149,6 +159,7 @@ func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration) Sw
 		TotalBytes:     syn.TotalBytes(),
 		Duration:       d,
 		DurationString: d.String(),
+		Build:          build,
 	}
 	if s.onSwap != nil {
 		s.onSwap(ev)
@@ -172,7 +183,7 @@ func (s *Service) Reload(ctx context.Context) (SwapEvent, error) {
 	if err := syn.Validate(); err != nil {
 		return SwapEvent{}, fmt.Errorf("service: reload: %w", err)
 	}
-	return s.install(syn, "reload", time.Since(t0)), nil
+	return s.install(syn, "reload", time.Since(t0), nil), nil
 }
 
 // RebuildOptions parameterize one Rebuild.
@@ -212,6 +223,9 @@ type RebuildStatus struct {
 	LastDuration   time.Duration `json:"-"`
 	LastDurationMS int64         `json:"last_duration_ms,omitempty"`
 	LastGeneration uint64        `json:"last_generation,omitempty"`
+	// LastBuildStats is the construction profile of the most recent
+	// successful rebuild (pairs evaluated, memo hit rate, phase times).
+	LastBuildStats *core.BuildStats `json:"last_build,omitempty"`
 }
 
 // RebuildStatus snapshots the rebuilder.
@@ -268,6 +282,7 @@ func (s *Service) Rebuild(ctx context.Context, opts RebuildOptions) (SwapEvent, 
 		s.rb.LastOutcome = "ok"
 		s.rb.LastError = ""
 		s.rb.LastGeneration = ev.NewGeneration
+		s.rb.LastBuildStats = ev.Build
 	}
 	s.rbMu.Unlock()
 	if err != nil {
@@ -314,14 +329,17 @@ func (s *Service) rebuild(ctx context.Context, opts RebuildOptions, t0 time.Time
 		return SwapEvent{}, fmt.Errorf("service: rebuild: %w", err)
 	}
 	s.setPhase(PhaseCompress)
+	var st core.BuildStats
 	built, err := core.XClusterBuildContext(ctx, ref, core.BuildOptions{
 		StructBudget: opts.StructBudget,
 		ValueBudget:  opts.ValueBudget,
+		Workers:      s.buildWorkers,
 		Metrics:      s.reg,
+		Stats:        &st,
 	})
 	if err != nil {
 		return SwapEvent{}, fmt.Errorf("service: rebuild: %w", err)
 	}
 	s.setPhase(PhaseInstall)
-	return s.install(built, opts.Reason, time.Since(t0)), nil
+	return s.install(built, opts.Reason, time.Since(t0), &st), nil
 }

@@ -579,3 +579,96 @@ func TestRebuildOnDrift(t *testing.T) {
 		t.Fatalf("drift rebuild status %+v", st)
 	}
 }
+
+// TestHammerWhileParallelBuilding re-runs the swap hammer with the
+// rebuild's merge engine fanned out over 4 evaluation workers
+// (WithBuildWorkers). Run under -race: the build workers share the
+// builder's memo/caches while 32 goroutines estimate against the
+// serving slot. Worker count must never leak into results — answers
+// stay bit-for-bit the sequential ground truth across every swap — and
+// each rebuild's swap event must carry its construction stats.
+func TestHammerWhileParallelBuilding(t *testing.T) {
+	tree := testTree(t)
+	syn := newTestSynopsis(t)
+	qs := parseWorkload(t)
+	want := sequentialAnswers(syn, qs)
+
+	var events []SwapEvent
+	var evMu sync.Mutex
+	svc := New(syn,
+		WithDocument(tree),
+		WithWorkers(4),
+		WithBuildWorkers(4),
+		WithOnSwap(func(ev SwapEvent) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		}),
+	)
+
+	const goroutines = 32
+	const rounds = 20
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(qs)
+				v, err := svc.Estimate(context.Background(), qs[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if v != want[i] {
+					errs <- fmt.Errorf("goroutine %d: %s = %v, want %v", g, testWorkload[i], v, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+
+	close(start)
+	const swaps = 3
+	for i := 0; i < swaps; i++ {
+		ev, err := svc.Rebuild(context.Background(), RebuildOptions{})
+		if err != nil {
+			t.Fatalf("rebuild %d: %v", i, err)
+		}
+		if ev.Build == nil {
+			t.Fatalf("rebuild %d: swap event carries no build stats", i)
+		}
+		if ev.Build.Workers != 4 {
+			t.Fatalf("rebuild %d: build ran with %d workers, want 4", i, ev.Build.Workers)
+		}
+		// The test document fits its budget with few or no merges, so
+		// only the phase timings are guaranteed to be non-trivial.
+		if ev.Build.ValueSeconds <= 0 {
+			t.Fatalf("rebuild %d: no value-phase time recorded: %+v", i, ev.Build)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := svc.Stats(); st.Failed != 0 {
+		t.Fatalf("%d failed requests under parallel-build load", st.Failed)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) != swaps {
+		t.Fatalf("%d swap events, want %d", len(events), swaps)
+	}
+	for i, ev := range events {
+		if ev.Build == nil {
+			t.Fatalf("swap event %d has no build stats", i)
+		}
+	}
+	if st := svc.RebuildStatus(); st.LastBuildStats == nil || st.LastBuildStats.Workers != 4 {
+		t.Fatalf("rebuild status missing build stats: %+v", st)
+	}
+}

@@ -161,6 +161,7 @@ type Service struct {
 	defaultBstr    int
 	defaultBval    int
 	refOpts        core.ReferenceOptions
+	buildWorkers   int
 
 	// reg aggregates every metric the service and its estimator emit;
 	// slow is the optional slow-query ring (nil when disabled).
@@ -292,6 +293,8 @@ func (s *Service) wireMetrics() {
 	r.Help(core.MetricPipelineStageSeconds, "Wall time per estimation pipeline stage.")
 	r.Help(core.MetricCacheLookupsTotal, "Estimate-pipeline cache lookups, by cache and outcome.")
 	r.Help(core.MetricBuildPhaseSeconds, "Synopsis build phase wall time.")
+	r.Help(core.MetricBuildMergesTotal, "Node merges applied by synopsis builds.")
+	r.Help(core.MetricBuildPairsTotal, "Merge-candidate evaluations by synopsis builds, by outcome (computed, memo_hit, memo_partial).")
 	s.served = r.Counter("xcluster_requests_total", `outcome="ok"`)
 	s.failed = r.Counter("xcluster_requests_total", `outcome="error"`)
 	s.reqHist = r.Histogram("xcluster_request_seconds", "", nil)

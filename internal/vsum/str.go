@@ -83,6 +83,43 @@ func (s *String) Fuse(other Summary) Summary {
 	return &String{T: pst.Merge(s.T, o.T)}
 }
 
+// FuseAtomicSel implements FusedSeler. The fused PST holds the union
+// of the two trees' retained substrings with summed counts, so for a
+// substring retained in either tree the fused selectivity is
+// (freq_s + freq_o) / (count_s + count_o) — the additions in the same
+// order pst.Merge would perform them, so the result is bit-for-bit the
+// fused tree's answer without building it. A substring absent from
+// both trees (impossible for atomics drawn from this pair, but legal
+// input) falls back to a real fusion.
+func (s *String) FuseAtomicSel(other Summary, a Atomic) float64 {
+	o, ok := other.(*String)
+	if !ok {
+		panic(fmt.Sprintf("vsum: fusing string with %T", other))
+	}
+	if a.Kind != xmltree.TypeString {
+		return 0
+	}
+	n := s.T.Count() + o.T.Count()
+	if n == 0 {
+		return 0
+	}
+	if a.Sub == "" {
+		return 1
+	}
+	fs, fo := s.T.Freq(a.Sub), o.T.Freq(a.Sub)
+	if fs < 0 && fo < 0 {
+		return s.Fuse(other).AtomicSel(a)
+	}
+	f := 0.0
+	if fs >= 0 {
+		f += fs
+	}
+	if fo >= 0 {
+		f += fo
+	}
+	return f / n
+}
+
 // Compress implements Summary (st_cmprs): it prunes up to b leaves in
 // ascending pruning-error order on a copy.
 func (s *String) Compress(b int) (Summary, int, int) {

@@ -56,6 +56,16 @@ type Summary interface {
 	Validate() error
 }
 
+// FusedSeler is an optional Summary extension: summaries that can
+// answer selectivity questions about s.Fuse(other) without
+// materializing the fused summary implement it. FuseAtomicSel must
+// return exactly — bit for bit — what s.Fuse(other).AtomicSel(a)
+// would: the Δ evaluator treats the fast path as a pure optimization,
+// and synopsis builds must not depend on whether it was taken.
+type FusedSeler interface {
+	FuseAtomicSel(other Summary, a Atomic) float64
+}
+
 // FromNodes builds a detailed summary of the values of nodes, which must
 // all share the same non-null value type. opts tune the detailed forms.
 func FromNodes(nodes []*xmltree.Node, opts BuildOptions) (Summary, error) {

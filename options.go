@@ -84,6 +84,38 @@ func WithNumericSummary(k NumericSummary) Option {
 	return func(o *Options) { o.NumericSummary = k.String() }
 }
 
+// WithBuildWorkers sets the number of goroutines evaluating merge
+// candidates during XCLUSTERBUILD. 0 (the default) uses GOMAXPROCS;
+// negative values are rejected by Build. The worker count never
+// changes the produced synopsis: parallel builds are bit-for-bit
+// identical to serial ones, and the count is not part of the synopsis
+// fingerprint.
+func WithBuildWorkers(n int) Option {
+	return func(o *Options) { o.BuildWorkers = n }
+}
+
+// WithBuildProgress registers a callback receiving periodic
+// BuildProgress snapshots (phase, current sizes against budgets, merge
+// and evaluation counters) while a build runs. The callback is invoked
+// synchronously from the build, so it should return quickly.
+func WithBuildProgress(fn func(BuildProgress)) Option {
+	return func(o *Options) { o.BuildProgress = fn }
+}
+
+// WithBuildMetrics attaches a MetricSink to the build; XCLUSTERBUILD
+// emits its counters (merges applied, candidate evaluations by
+// outcome, phase durations) through it.
+func WithBuildMetrics(sink MetricSink) Option {
+	return func(o *Options) { o.BuildMetrics = sink }
+}
+
+// WithBuildStats points the build at a BuildStats to fill in: after a
+// successful Build the struct holds the work performed (pairs
+// evaluated, memo hit rate, per-phase wall times).
+func WithBuildStats(st *BuildStats) Option {
+	return func(o *Options) { o.BuildStats = st }
+}
+
 // applyOptions folds a list of options over the zero configuration.
 func applyOptions(opts []Option) Options {
 	var o Options

@@ -117,6 +117,18 @@ type Options struct {
 	// "histogram" (default), "wavelet", or "sample" — the three tools
 	// the paper cites for numeric frequency distributions.
 	NumericSummary string
+	// BuildWorkers is the number of goroutines evaluating merge
+	// candidates (0 = GOMAXPROCS; negative is rejected). The count
+	// never changes the produced synopsis.
+	BuildWorkers int
+	// BuildProgress, when set, receives periodic snapshots of a running
+	// build.
+	BuildProgress func(BuildProgress)
+	// BuildMetrics, when set, receives the build's counters.
+	BuildMetrics MetricSink
+	// BuildStats, when set, is filled with the work a successful build
+	// performed.
+	BuildStats *BuildStats
 }
 
 // numericKind maps the option string to the internal kind.
@@ -132,6 +144,20 @@ func (o Options) numericKind() (vsum.NumericKind, error) {
 		return 0, fmt.Errorf("%w: %q (want histogram, wavelet or sample)", ErrUnknownNumericSummary, o.NumericSummary)
 	}
 }
+
+// BuildProgress is a point-in-time snapshot of a running build,
+// delivered to the callback registered with WithBuildProgress.
+type BuildProgress = core.BuildProgress
+
+// BuildStats summarizes the work one build performed: merges applied,
+// candidate evaluations, memo hit rate, per-phase wall times. Request
+// it with WithBuildStats.
+type BuildStats = core.BuildStats
+
+// MetricSink receives build counters (see WithBuildMetrics). The obs
+// package's registry implements it; so does any collector with Add and
+// Observe. Implementations must be safe for concurrent use.
+type MetricSink = core.MetricSink
 
 // Build constructs an XCluster synopsis of the document within the given
 // storage budgets: it builds the detailed reference synopsis and runs the
@@ -151,7 +177,7 @@ func BuildContext(ctx context.Context, t *Tree, opts ...Option) (*Synopsis, erro
 	if err != nil {
 		return nil, err
 	}
-	return compressContext(ctx, ref, cfg.StructBudget, cfg.ValueBudget)
+	return compressContext(ctx, ref, cfg.StructBudget, cfg.ValueBudget, cfg)
 }
 
 // BuildReference constructs the detailed reference synopsis (a refinement
@@ -178,11 +204,14 @@ func BuildReference(t *Tree, opts ...Option) (*Synopsis, error) {
 
 // Compress runs XCLUSTERBUILD on a reference synopsis, producing a new
 // synopsis within the two byte budgets. The input is not modified.
-func Compress(ref *Synopsis, structBudget, valueBudget int) (*Synopsis, error) {
-	return compressContext(context.Background(), ref, structBudget, valueBudget)
+// Build-tuning options (WithBuildWorkers, WithBuildProgress,
+// WithBuildMetrics, WithBuildStats) apply; budget and reference options
+// are ignored here — the budgets come from the explicit arguments.
+func Compress(ref *Synopsis, structBudget, valueBudget int, opts ...Option) (*Synopsis, error) {
+	return compressContext(context.Background(), ref, structBudget, valueBudget, applyOptions(opts))
 }
 
-func compressContext(ctx context.Context, ref *Synopsis, structBudget, valueBudget int) (*Synopsis, error) {
+func compressContext(ctx context.Context, ref *Synopsis, structBudget, valueBudget int, cfg Options) (*Synopsis, error) {
 	if structBudget <= 0 {
 		return nil, fmt.Errorf("%w: structural budget %d must be positive", ErrBudgetTooSmall, structBudget)
 	}
@@ -192,6 +221,10 @@ func compressContext(ctx context.Context, ref *Synopsis, structBudget, valueBudg
 	return core.XClusterBuildContext(ctx, ref, core.BuildOptions{
 		StructBudget: structBudget,
 		ValueBudget:  valueBudget,
+		Workers:      cfg.BuildWorkers,
+		Progress:     cfg.BuildProgress,
+		Metrics:      cfg.BuildMetrics,
+		Stats:        cfg.BuildStats,
 	})
 }
 
@@ -261,7 +294,13 @@ func AutoBuild(t *Tree, totalBudget int, sample []*Query, opts ...Option) (*Syno
 		}
 		return total / float64(len(sample))
 	}
-	s, bstr, _, err := core.AutoAllocate(ref, totalBudget, score, core.BuildOptions{})
+	cfg := applyOptions(opts)
+	s, bstr, _, err := core.AutoAllocate(ref, totalBudget, score, core.BuildOptions{
+		Workers:  cfg.BuildWorkers,
+		Progress: cfg.BuildProgress,
+		Metrics:  cfg.BuildMetrics,
+		Stats:    cfg.BuildStats,
+	})
 	return s, bstr, err
 }
 
