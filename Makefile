@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench bench-json bench-build
+.PHONY: check build test bench bench-json bench-build bench-catalog
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -33,3 +33,10 @@ bench-json:
 bench-build:
 	$(GO) run ./cmd/xclusterbench -experiment build > BENCH_build.json
 	@echo "wrote BENCH_build.json"
+
+# Machine-readable catalog benchmark: scatter-gather estimation across a
+# sharded corpus vs the single-shard direct path (with the bit-for-bit
+# aggregate check and routing spread) as JSON at the repo root.
+bench-catalog:
+	$(GO) run ./cmd/xclusterbench -experiment catalog > BENCH_catalog.json
+	@echo "wrote BENCH_catalog.json"

@@ -32,11 +32,15 @@ go test ./...
 
 # The fuzz targets' seed corpora are regression tests: run them as
 # ordinary tests (no fuzzing engine, just the f.Add seeds + testdata).
+# Includes internal/catalog FuzzParseManifest: the -catalog manifest
+# parser never panics and everything it accepts round-trips.
 go test -run=Fuzz ./...
 
 # Machine-readable benchmark artifacts, kept at the repo root for
 # comparison across revisions: the prepared-execution experiment
-# (performance + per-class accuracy) and the build experiment (serial
-# vs parallel vs memoized construction).
+# (performance + per-class accuracy), the build experiment (serial vs
+# parallel vs memoized construction), and the catalog experiment
+# (scatter-gather vs single-shard estimation across a sharded corpus).
 make bench-json
 make bench-build
+make bench-catalog

@@ -11,6 +11,7 @@
 //	xclusterbench -experiment negative  # negative-workload check
 //	xclusterbench -experiment prepared  # compile-once speedup (JSON)
 //	xclusterbench -experiment build     # serial vs parallel vs memoized construction (JSON)
+//	xclusterbench -experiment catalog   # scatter-gather throughput across a sharded corpus (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -23,10 +24,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"xcluster/internal/harness"
 )
+
+// validExperiments lists the -experiment selector's legal values; an
+// unknown name is a hard error naming them, not a silent no-op.
+var validExperiments = []string{"negative", "ablations", "autobudget", "throughput", "prepared", "build", "catalog"}
+
+var (
+	validTables  = []string{"1", "2"}
+	validFigures = []string{"8a", "8b", "9"}
+)
+
+// checkSelector exits with a usage error when an explicitly given
+// selector flag names no known target.
+func checkSelector(flagName, got string, valid []string) {
+	if got != "" && !slices.Contains(valid, got) {
+		fmt.Fprintf(os.Stderr, "xclusterbench: unknown -%s %q (valid: %s)\n",
+			flagName, got, strings.Join(valid, ", "))
+		os.Exit(2)
+	}
+}
 
 func main() {
 	scale := flag.Float64("scale", 1, "dataset scale multiplier")
@@ -35,10 +57,13 @@ func main() {
 	points := flag.Int("points", 6, "structural budget points in the Figure 8 sweep")
 	table := flag.String("table", "", "run one table: 1 or 2")
 	figure := flag.String("figure", "", "run one figure: 8a, 8b or 9")
-	experiment := flag.String("experiment", "", "run one experiment: negative, ablations, autobudget, throughput, prepared or build")
-	workers := flag.Int("workers", 0, "goroutines for -experiment throughput/build (default GOMAXPROCS)")
+	experiment := flag.String("experiment", "", "run one experiment: "+strings.Join(validExperiments, ", "))
+	workers := flag.Int("workers", 0, "goroutines for -experiment throughput/build/catalog (default GOMAXPROCS)")
 	csvOut := flag.Bool("csv", false, "emit Figure 8 rows as CSV (for plotting)")
 	flag.Parse()
+	checkSelector("table", *table, validTables)
+	checkSelector("figure", *figure, validFigures)
+	checkSelector("experiment", *experiment, validExperiments)
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, PerClass: *perClass, Points: *points}
 	all := *table == "" && *figure == "" && *experiment == ""
@@ -170,5 +195,15 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, harness.FormatBuild(rows))
 		fmt.Println(harness.FormatBuildJSON(rows))
+	}
+	if *experiment == "catalog" { // opt-in: wall-clock sensitive
+		var rows []harness.CatalogRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.CatalogExperiment(load(name), cfg, *workers, 0)
+			check(err)
+			rows = append(rows, r)
+		}
+		fmt.Fprintln(os.Stderr, harness.FormatCatalog(rows))
+		fmt.Println(harness.FormatCatalogJSON(rows))
 	}
 }

@@ -10,6 +10,7 @@ import (
 // config is the validated daemon configuration.
 type config struct {
 	synPath        string
+	catalogPath    string
 	addr           string
 	workers        int
 	timeout        time.Duration
@@ -31,7 +32,7 @@ type config struct {
 	buildWorkers   int
 }
 
-const usageLine = "usage: xclusterd -syn syn.bin [-addr :8080] [-doc doc.xml] [-bstr N -bval N] [-shadow-rate 0.01] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]"
+const usageLine = "usage: xclusterd -syn syn.bin | -catalog manifest.json [-addr :8080] [-doc doc.xml] [-bstr N -bval N] [-shadow-rate 0.01] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]"
 
 // parseFlags parses and validates the daemon's command line. Invalid
 // values fail here, before any file is opened or listener bound, with a
@@ -41,7 +42,8 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	c := &config{}
 	fs := flag.NewFlagSet("xclusterd", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fs.StringVar(&c.synPath, "syn", "", "serialized synopsis to serve (required; see xcluster build -o)")
+	fs.StringVar(&c.synPath, "syn", "", "serialized synopsis to serve (see xcluster build -o; this or -catalog is required)")
+	fs.StringVar(&c.catalogPath, "catalog", "", "multi-tenant catalog manifest (JSON; serves one shard per (tenant, collection) entry)")
 	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&c.workers, "workers", 0, "batch worker goroutines (default GOMAXPROCS)")
 	fs.DurationVar(&c.timeout, "timeout", 5*time.Second, "per-request estimation deadline (0 disables)")
@@ -80,8 +82,21 @@ func (c *config) validate(set map[string]bool) error {
 	if c.version {
 		return nil // -version ignores everything else
 	}
-	if c.synPath == "" {
-		return fmt.Errorf("missing required -syn (the synopsis file to serve)")
+	if c.synPath == "" && c.catalogPath == "" {
+		return fmt.Errorf("missing required -syn (the synopsis file to serve) or -catalog (a multi-tenant manifest)")
+	}
+	if c.synPath != "" && c.catalogPath != "" {
+		return fmt.Errorf("-syn and -catalog are mutually exclusive: the manifest names each shard's synopsis")
+	}
+	if c.catalogPath != "" {
+		// Per-shard settings live in the manifest in catalog mode; an
+		// explicitly given single-synopsis flag is a configuration error,
+		// not something to silently ignore.
+		for _, f := range []string{"doc", "shadow-rate", "shadow-workers", "shadow-deadline", "bstr", "bval", "rebuild-on-drift"} {
+			if set[f] {
+				return fmt.Errorf("-%s is a per-shard setting: with -catalog, set it in the manifest's shard entries", f)
+			}
+		}
 	}
 	if set["bstr"] && c.bstr <= 0 {
 		return fmt.Errorf("-bstr must be a positive byte budget, got %d", c.bstr)
@@ -116,7 +131,9 @@ func (c *config) validate(set map[string]bool) error {
 	if c.buildWorkers < 0 {
 		return fmt.Errorf("-build-workers must be non-negative (0 = GOMAXPROCS), got %d", c.buildWorkers)
 	}
-	if set["build-workers"] && c.docPath == "" {
+	// In catalog mode rebuilds are per shard (manifest documents), so
+	// -build-workers is a legitimate server-wide knob there.
+	if set["build-workers"] && c.docPath == "" && c.catalogPath == "" {
 		return fmt.Errorf("-build-workers configures /admin/rebuild and requires -doc")
 	}
 	return nil

@@ -38,6 +38,11 @@ func TestParseFlagsRejections(t *testing.T) {
 		want string // substring of the error
 	}{
 		{"missing syn", []string{}, "-syn"},
+		{"syn and catalog", []string{"-syn", "s", "-catalog", "m.json"}, "mutually exclusive"},
+		{"catalog with doc", []string{"-catalog", "m.json", "-doc", "d"}, "-doc is a per-shard setting"},
+		{"catalog with shadow rate", []string{"-catalog", "m.json", "-shadow-rate", "0.5"}, "-shadow-rate is a per-shard setting"},
+		{"catalog with budgets", []string{"-catalog", "m.json", "-bstr", "1024"}, "-bstr is a per-shard setting"},
+		{"catalog with drift", []string{"-catalog", "m.json", "-rebuild-on-drift"}, "-rebuild-on-drift is a per-shard setting"},
 		{"zero bstr", []string{"-syn", "s", "-doc", "d", "-bstr", "0"}, "-bstr must be a positive"},
 		{"negative bstr", []string{"-syn", "s", "-doc", "d", "-bstr", "-5"}, "-bstr must be a positive"},
 		{"zero bval", []string{"-syn", "s", "-doc", "d", "-bval", "0"}, "-bval must be a positive"},
@@ -69,6 +74,18 @@ func TestParseFlagsRejections(t *testing.T) {
 				t.Fatalf("no usage line in output: %q", sb.String())
 			}
 		})
+	}
+}
+
+// TestParseFlagsCatalogMode: a manifest alone is a valid configuration,
+// and server-wide flags (address, timeouts, caches) still apply.
+func TestParseFlagsCatalogMode(t *testing.T) {
+	c, err := parseFlags([]string{"-catalog", "m.json", "-addr", ":0", "-cache", "64"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.catalogPath != "m.json" || c.addr != ":0" || c.cache != 64 {
+		t.Fatalf("parsed %+v", c)
 	}
 }
 

@@ -1,56 +1,61 @@
 // Command xclusterd serves twig-query selectivity estimates over HTTP
-// from a serialized XCluster synopsis: the deployment shape where one
-// small summary, built once from a large document, answers optimizer
+// from serialized XCluster synopses: the deployment shape where small
+// summaries, built once from large documents, answer optimizer
 // estimate requests for a fleet of query processors.
+//
+// The daemon always serves a shard catalog. In the classic
+// single-synopsis mode (-syn) the catalog holds exactly one shard,
+// addressed implicitly, and every endpoint behaves byte-for-byte like
+// the historical single-tenant daemon. With -catalog it serves a
+// multi-tenant manifest instead: one shard per (tenant, collection)
+// entry, each with its own synopsis generations, caches, accuracy
+// monitor, and shadow-sampling budget.
 //
 // Usage:
 //
 //	xcluster build -bstr 10240 -bval 51200 -o syn.bin doc.xml
 //	xclusterd -syn syn.bin -addr :8080
+//	xclusterd -catalog manifest.json -addr :8080
 //
 //	curl -s localhost:8080/estimate -d '{"queries":["//paper[year>2000]/title"]}'
-//	curl -s localhost:8080/estimate -d '{"queries":["//paper/title"],"trace":true}'
+//	curl -s localhost:8080/estimate -d '{"tenant":"acme","collection":"docs","queries":["//paper/title"]}'
+//	curl -s localhost:8080/estimate -d '{"tenant":"acme","queries":["//paper/title"]}'  # scatter-gather
 //	curl -s localhost:8080/feedback -d '{"feedback":[{"query":"//paper/title","true":42}]}'
-//	curl -s localhost:8080/metrics        # Prometheus text format
-//	curl -s localhost:8080/stats          # JSON counters + percentiles
-//	curl -s localhost:8080/debug/slowlog  # slow-query ring buffer (?limit=N)
+//	curl -s localhost:8080/metrics        # Prometheus text format (tenant/collection labels)
+//	curl -s localhost:8080/stats          # JSON counters + percentiles (?tenant=&collection=)
+//	curl -s localhost:8080/debug/slowlog  # per-shard ring buffer; /debug/slowlog/all merges shards
 //	curl -s localhost:8080/debug/accuracy # per-class estimation error + drift flags
 //	curl -s localhost:8080/debug/synopsis # clusters, budget split, generation, rebuild status
-//	curl -s -X POST localhost:8080/admin/reload   # hot swap: re-read -syn
+//	curl -s localhost:8080/admin/catalog  # attached shards
+//	curl -s -X POST localhost:8080/admin/catalog/attach -d @shard.json
+//	curl -s -X POST localhost:8080/admin/catalog/detach -d '{"tenant":"acme","collection":"docs"}'
+//	curl -s 'localhost:8080/admin/catalog/route?tenant=acme&key=doc-17'
+//	curl -s -X POST localhost:8080/admin/reload   # hot swap: re-read the shard's synopsis
 //	curl -s -X POST localhost:8080/admin/rebuild -d '{"struct_budget":20480}'
 //	curl -s localhost:8080/buildinfo
 //	curl -s localhost:8080/synopsis
 //
-// Estimation compiles each distinct query shape once (the prepared
-// plan is cached in an LRU sized by -plancache) and executes the
-// compiled plan per request. Every estimate runs the traced pipeline:
-// per-stage latencies aggregate into /metrics histograms, queries
-// slower than -slowquery land in /debug/slowlog, and "trace":true
-// returns the spans inline.
+// Manifest paths (synopsis, document) are resolved relative to the
+// manifest file's directory, so a manifest can travel with its
+// artifacts. Per-shard settings (document, shadow sampling, rebuild
+// budgets, cache sizes) come from the manifest in catalog mode;
+// server-wide flags (-timeout, -slowquery, -workers, -cache defaults)
+// apply to every shard.
 //
-// The served synopsis is a hot-swappable generation. SIGHUP or POST
-// /admin/reload re-reads -syn and swaps the new synopsis in with zero
-// downtime: in-flight estimates finish on the old generation, new
-// requests see the new one, and both estimator caches are invalidated
-// atomically. With -doc resident, POST /admin/rebuild reconstructs the
-// synopsis from the document in the background (optionally with new
-// -bstr/-bval budgets) and swaps the result in the same way;
-// -rebuild-on-drift triggers such a rebuild automatically when the
-// accuracy monitor flags drift.
-//
-// With -doc the daemon additionally shadow-samples a -shadow-rate
-// fraction of estimates: sampled queries are re-run through the exact
-// evaluator on background workers (bounded by -shadow-workers and
-// -shadow-deadline, never on the serving path) and the estimate/truth
-// pairs feed per-predicate-class error histograms in /metrics and
-// /debug/accuracy. Deployments without a resident document can push
-// observed exact result sizes to POST /feedback instead.
+// Each served synopsis is a hot-swappable generation. SIGHUP or POST
+// /admin/reload re-reads the shard's synopsis and swaps it in with zero
+// downtime (SIGHUP reloads every attached shard). With a resident
+// document, POST /admin/rebuild reconstructs a shard's synopsis in the
+// background and rebuild_on_drift triggers that automatically when the
+// shard's accuracy monitor flags drift. Shadow sampling re-runs a
+// sampled fraction of a shard's estimates through the exact evaluator
+// on that shard's private worker budget.
 //
 // Logs are structured JSON on stderr (log/slog); synopsis lifecycle
-// transitions (reloads, rebuilds, swaps) are logged at info. The server
-// shuts down gracefully on SIGINT/SIGTERM: it stops accepting, drains
-// in-flight requests and batch work within the -drain deadline, and
-// flushes the slow-query log into the structured log before exiting.
+// transitions (reloads, rebuilds, swaps) are logged at info with the
+// owning shard. The server shuts down gracefully on SIGINT/SIGTERM: it
+// stops accepting, drains every shard within the -drain deadline, and
+// flushes the slow-query logs into the structured log before exiting.
 package main
 
 import (
@@ -63,16 +68,19 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"xcluster"
 	"xcluster/internal/accuracy"
+	"xcluster/internal/catalog"
 	"xcluster/internal/core"
 	"xcluster/internal/service"
+	"xcluster/internal/xmltree"
 )
 
-// loadSynopsis reads and decodes the synopsis file.
+// loadSynopsis reads and decodes a synopsis file.
 func loadSynopsis(path string) (*core.Synopsis, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -80,6 +88,63 @@ func loadSynopsis(path string) (*core.Synopsis, error) {
 	}
 	defer f.Close()
 	return xcluster.ReadSynopsis(f)
+}
+
+// loadDocument reads and parses an XML document file.
+func loadDocument(path string) (*xmltree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xcluster.ParseXML(f)
+}
+
+// daemonManifest produces the catalog manifest the daemon serves: the
+// file named by -catalog, or a synthesized one-shard manifest carrying
+// the single-synopsis flags. baseDir is the directory manifest-relative
+// synopsis/document paths resolve against.
+func daemonManifest(cfg *config) (m *catalog.Manifest, baseDir string, err error) {
+	if cfg.catalogPath != "" {
+		m, err = catalog.LoadManifestFile(cfg.catalogPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, filepath.Dir(cfg.catalogPath), nil
+	}
+	// Single-synopsis mode is the same machinery with one implicit
+	// shard: flags map onto the spec, and the shard is the default so
+	// unaddressed requests (and /metrics series) look exactly like the
+	// historical single-tenant daemon.
+	m = &catalog.Manifest{
+		DefaultTenant:     "default",
+		DefaultCollection: "main",
+		Shards: []catalog.ShardSpec{{
+			Tenant:           "default",
+			Collection:       "main",
+			Synopsis:         cfg.synPath,
+			Document:         cfg.docPath,
+			StructBudget:     cfg.bstr,
+			ValueBudget:      cfg.bval,
+			ShadowRate:       cfg.shadowRate,
+			ShadowWorkers:    cfg.shadowWorkers,
+			ShadowDeadlineMS: int(cfg.shadowDeadline / time.Millisecond),
+			RebuildOnDrift:   cfg.rebuildOnDrift,
+		}},
+	}
+	if err := m.Validate(); err != nil {
+		return nil, "", err
+	}
+	return m, "", nil
+}
+
+// resolvePath resolves a manifest-relative path against the manifest's
+// directory; absolute paths and the single-synopsis mode pass through.
+func resolvePath(baseDir, path string) string {
+	if baseDir == "" || path == "" || filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(baseDir, path)
 }
 
 func main() {
@@ -106,92 +171,108 @@ func main() {
 		os.Exit(1)
 	}
 
-	syn, err := loadSynopsis(cfg.synPath)
+	m, baseDir, err := daemonManifest(cfg)
 	if err != nil {
-		fatal("reading synopsis", err)
+		fatal("loading catalog manifest", err)
 	}
+	defKey, _ := m.DefaultKey()
 
-	opts := []service.Option{
-		service.WithTimeout(cfg.timeout),
-		service.WithSlowQueryLog(cfg.slowQ, cfg.slowCap),
-		service.WithAccuracy(accuracy.WithOnDrift(func(ev accuracy.DriftEvent) {
-			logger.Warn("accuracy drift",
-				"class", ev.Class.String(),
-				"recent_avg_rel_error", ev.Recent,
-				"baseline_avg_rel_error", ev.Baseline,
-				"ratio", ev.Ratio,
-			)
-		})),
-		// POST /admin/reload and SIGHUP re-read the synopsis file.
-		service.WithSynopsisSource(func(ctx context.Context) (*core.Synopsis, error) {
-			return loadSynopsis(cfg.synPath)
-		}),
-		service.WithOnSwap(func(ev service.SwapEvent) {
-			args := []any{
-				"old_generation", ev.OldGeneration,
-				"new_generation", ev.NewGeneration,
-				"reason", ev.Reason,
-				"nodes", ev.Nodes,
-				"total_bytes", ev.TotalBytes,
-				"duration", ev.Duration.String(),
+	cat, err := catalog.New(catalog.Config{
+		Loader: func(ctx context.Context, spec catalog.ShardSpec) (*core.Synopsis, *xmltree.Tree, error) {
+			syn, err := loadSynopsis(resolvePath(baseDir, spec.Synopsis))
+			if err != nil {
+				return nil, nil, err
 			}
-			if ev.Build != nil {
-				args = append(args,
-					"build_workers", ev.Build.Workers,
-					"merges", ev.Build.Merges,
-					"pairs_evaluated", ev.Build.PairsEvaluated,
-					"memo_hit_rate", ev.Build.MemoHitRate(),
-					"merge_seconds", ev.Build.MergeSeconds,
-					"value_seconds", ev.Build.ValueSeconds,
-				)
+			var tree *xmltree.Tree
+			if spec.Document != "" {
+				if tree, err = loadDocument(resolvePath(baseDir, spec.Document)); err != nil {
+					return nil, nil, err
+				}
 			}
-			logger.Info("synopsis swapped", args...)
-		}),
+			return syn, tree, nil
+		},
+		// Server-wide flags apply to every shard; per-shard manifest
+		// settings (cache sizes, shadow budgets) are layered on top by
+		// the catalog and win where both are set.
+		ShardOptions: func(spec catalog.ShardSpec) []service.Option {
+			shard := spec.Key().String()
+			opts := []service.Option{
+				service.WithTimeout(cfg.timeout),
+				service.WithSlowQueryLog(cfg.slowQ, cfg.slowCap),
+				service.WithAccuracy(accuracy.WithOnDrift(func(ev accuracy.DriftEvent) {
+					logger.Warn("accuracy drift",
+						"shard", shard,
+						"class", ev.Class.String(),
+						"recent_avg_rel_error", ev.Recent,
+						"baseline_avg_rel_error", ev.Baseline,
+						"ratio", ev.Ratio,
+					)
+				})),
+				service.WithOnSwap(func(ev service.SwapEvent) {
+					args := []any{
+						"shard", shard,
+						"old_generation", ev.OldGeneration,
+						"new_generation", ev.NewGeneration,
+						"reason", ev.Reason,
+						"nodes", ev.Nodes,
+						"total_bytes", ev.TotalBytes,
+						"duration", ev.Duration.String(),
+					}
+					if ev.Build != nil {
+						args = append(args,
+							"build_workers", ev.Build.Workers,
+							"merges", ev.Build.Merges,
+							"pairs_evaluated", ev.Build.PairsEvaluated,
+							"memo_hit_rate", ev.Build.MemoHitRate(),
+							"merge_seconds", ev.Build.MergeSeconds,
+							"value_seconds", ev.Build.ValueSeconds,
+						)
+					}
+					logger.Info("synopsis swapped", args...)
+				}),
+			}
+			if cfg.workers > 0 {
+				opts = append(opts, service.WithWorkers(cfg.workers))
+			}
+			if cfg.cache != 0 {
+				opts = append(opts, service.WithCacheCapacity(cfg.cache))
+			}
+			if cfg.planCap != 0 {
+				opts = append(opts, service.WithPlanCacheCapacity(cfg.planCap))
+			}
+			if cfg.buildWorkers > 0 {
+				opts = append(opts, service.WithBuildWorkers(cfg.buildWorkers))
+			}
+			return opts
+		},
+		ScatterWorkers: m.ScatterWorkers,
+		DefaultKey:     defKey,
+		// Only the synthesized single-synopsis catalog keeps unlabeled
+		// metrics: a converted deployment's /metrics stays
+		// byte-compatible. Real manifests label every shard's series.
+		UnlabeledDefault: cfg.catalogPath == "",
+	})
+	if err != nil {
+		fatal("creating catalog", err)
 	}
-	if cfg.workers > 0 {
-		opts = append(opts, service.WithWorkers(cfg.workers))
+	if err := cat.AttachManifest(context.Background(), m); err != nil {
+		fatal("attaching shards", err)
 	}
-	if cfg.cache != 0 {
-		opts = append(opts, service.WithCacheCapacity(cfg.cache))
-	}
-	if cfg.planCap != 0 {
-		opts = append(opts, service.WithPlanCacheCapacity(cfg.planCap))
-	}
-	if cfg.bstr > 0 || cfg.bval > 0 {
-		opts = append(opts, service.WithRebuildBudgets(cfg.bstr, cfg.bval))
-	}
-	if cfg.rebuildOnDrift {
-		opts = append(opts, service.WithRebuildOnDrift())
-	}
-	if cfg.buildWorkers > 0 {
-		opts = append(opts, service.WithBuildWorkers(cfg.buildWorkers))
-	}
-	if cfg.docPath != "" {
-		df, err := os.Open(cfg.docPath)
-		if err != nil {
-			fatal("opening document", err)
-		}
-		tree, err := xcluster.ParseXML(df)
-		df.Close()
-		if err != nil {
-			fatal("parsing document", err)
-		}
-		opts = append(opts, service.WithDocument(tree))
-		if cfg.shadowRate > 0 {
-			opts = append(opts, service.WithShadowSampling(cfg.shadowRate, cfg.shadowWorkers, cfg.shadowDeadline))
-		}
-	}
-	svc := service.New(syn, opts...)
-	defer svc.Close()
 
 	bi := service.ReadBuildInfo()
-	st := xcluster.SynopsisStats(syn)
+	for _, info := range cat.List() {
+		logger.Info("shard attached",
+			"shard", info.Tenant+"/"+info.Collection,
+			"clusters", info.Clusters,
+			"bytes", info.Bytes,
+			"generation", info.Generation,
+		)
+	}
 	logger.Info("serving",
 		"addr", cfg.addr,
-		"synopsis", st.String(),
-		"generation", svc.Generation(),
+		"shards", len(cat.List()),
+		"tenants", len(cat.Tenants()),
 		"slowquery_threshold", cfg.slowQ.String(),
-		"shadow_rate", cfg.shadowRate,
 		"go_version", bi.GoVersion,
 		"vcs_revision", bi.Revision,
 	)
@@ -212,22 +293,30 @@ func main() {
 		}()
 	}
 
-	// SIGHUP = hot reload: re-read the synopsis file and swap, the
-	// classic "new artifact written over the served file" workflow.
+	// SIGHUP = hot reload: every shard re-reads its synopsis and swaps,
+	// the classic "new artifact written over the served file" workflow,
+	// fleet-wide.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			logger.Info("SIGHUP: reloading synopsis", "path", cfg.synPath)
-			if _, err := svc.Reload(context.Background()); err != nil {
-				logger.Error("reload failed; still serving the previous generation", "error", err)
+			for _, info := range cat.List() {
+				sh, err := cat.Shard(info.Tenant, info.Collection)
+				if err != nil {
+					continue // detached or draining since the snapshot
+				}
+				logger.Info("SIGHUP: reloading synopsis", "shard", info.Tenant+"/"+info.Collection)
+				if _, err := sh.Service().Reload(context.Background()); err != nil {
+					logger.Error("reload failed; still serving the previous generation",
+						"shard", info.Tenant+"/"+info.Collection, "error", err)
+				}
 			}
 		}
 	}()
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           svc.Handler(),
+		Handler:           cat.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -242,39 +331,60 @@ func main() {
 		fatal("server", err)
 	case <-ctx.Done():
 		stop()
-		stats := svc.Stats()
+		// Snapshot the shards before draining: after DrainAll their
+		// services are closed.
+		var served, failed, slow uint64
+		type shardRef struct {
+			key string
+			svc *service.Service
+		}
+		var refs []shardRef
+		for _, info := range cat.List() {
+			sh, err := cat.Shard(info.Tenant, info.Collection)
+			if err != nil {
+				continue
+			}
+			st := sh.Service().Stats()
+			served += st.Served
+			failed += st.Failed
+			slow += st.SlowQueries
+			refs = append(refs, shardRef{key: info.Tenant + "/" + info.Collection, svc: sh.Service()})
+		}
 		logger.Info("shutting down",
-			"served", stats.Served,
-			"failed", stats.Failed,
-			"slow_queries", stats.SlowQueries,
-			"generation", stats.Generation,
-			"swaps", stats.Swaps,
+			"served", served,
+			"failed", failed,
+			"slow_queries", slow,
+			"shards", len(refs),
 			"drain_deadline", cfg.drain.String(),
 		)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
-		// Stop accepting and wait for in-flight HTTP handlers, then for
-		// any estimation work still running (EstimateBatch workers), all
-		// under the one -drain deadline.
+		// Stop accepting and wait for in-flight HTTP handlers, then
+		// drain every shard's estimation work (EstimateBatch workers,
+		// shadow pools), all under the one -drain deadline.
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown incomplete", "error", err)
 		}
-		if err := svc.Drain(shutdownCtx); err != nil {
+		// Flush the slow-query logs into the structured log so captured
+		// queries survive the process; handlers are done, services not
+		// yet closed.
+		for _, ref := range refs {
+			for _, e := range ref.svc.SlowLog().Snapshot() {
+				logger.Warn("slow query",
+					"shard", ref.key,
+					"query", e.Query,
+					"plan", e.Plan,
+					"estimate", e.Estimate,
+					"total", time.Duration(e.TotalNanos).String(),
+					"time", e.Time,
+				)
+			}
+		}
+		if err := cat.DrainAll(shutdownCtx); err != nil {
 			logger.Error("drain incomplete", "error", err)
 		}
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("server", err)
-		}
-		// Flush the slow-query log into the structured log so captured
-		// queries survive the process.
-		for _, e := range svc.SlowLog().Snapshot() {
-			logger.Warn("slow query",
-				"query", e.Query,
-				"plan", e.Plan,
-				"estimate", e.Estimate,
-				"total", time.Duration(e.TotalNanos).String(),
-				"time", e.Time,
-			)
 		}
 		logger.Info("stopped")
 	}

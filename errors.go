@@ -5,6 +5,7 @@ import (
 
 	"xcluster/internal/core"
 	"xcluster/internal/query"
+	"xcluster/internal/service"
 )
 
 // ErrBudgetTooSmall reports a Build/Compress call whose storage budgets
@@ -22,6 +23,17 @@ var ErrUnknownNumericSummary = errors.New("xcluster: unknown numeric summary")
 // version this build cannot decode (a file written by a newer build, or
 // not a synopsis at all). Test with errors.Is.
 var ErrSynopsisVersion = core.ErrSynopsisVersion
+
+// Multi-tenant catalog addressing errors, surfaced by the serving
+// stack's catalog front-end: requests naming a tenant the catalog does
+// not know, a collection the tenant does not have, or a shard that is
+// draining for detach. The HTTP layer maps them to consistent JSON
+// 404/404/503 bodies. Test with errors.Is.
+var (
+	ErrUnknownTenant     = service.ErrUnknownTenant
+	ErrUnknownCollection = service.ErrUnknownCollection
+	ErrShardDraining     = service.ErrShardDraining
+)
 
 // QueryParseError is the error type ParseQuery returns for malformed
 // queries; its Offset field reports the byte position of the failure.

@@ -1,0 +1,380 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"xcluster/internal/obs"
+	"xcluster/internal/query"
+	"xcluster/internal/service"
+)
+
+// EstimateRequest is the body of the catalog's POST /estimate: the
+// single-tenant request shape plus optional addressing. Three forms:
+//
+//   - tenant and collection set: route to that shard;
+//   - tenant set, collection empty: scatter-gather over every
+//     collection of the tenant;
+//   - neither set: serve from the configured default shard (the
+//     single-tenant compatibility path — the response is byte-for-byte
+//     what a standalone service would return).
+type EstimateRequest struct {
+	Tenant     string `json:"tenant,omitempty"`
+	Collection string `json:"collection,omitempty"`
+	service.EstimateRequest
+}
+
+// ScatterQueryResult is one aggregated row of a ScatterResponse,
+// positional with the request's Queries.
+type ScatterQueryResult struct {
+	Query string `json:"query"`
+	// Selectivity sums the per-collection selectivities (shards hold
+	// disjoint corpora). Unset when the query failed to parse.
+	Selectivity *float64 `json:"selectivity,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Offset      *int     `json:"offset,omitempty"`
+}
+
+// ScatterResponse is the body of a scatter-gather POST /estimate.
+// Partial coverage is explicit: Collections lists what the aggregate
+// includes, ShardErrors what it does not and why.
+type ScatterResponse struct {
+	Tenant      string               `json:"tenant"`
+	Collections []string             `json:"collections"`
+	Partial     bool                 `json:"partial,omitempty"`
+	Results     []ScatterQueryResult `json:"results"`
+	ShardErrors []ShardError         `json:"shard_errors,omitempty"`
+}
+
+// AttachResponse is the body of a successful POST /admin/catalog/attach.
+type AttachResponse struct {
+	Tenant     string `json:"tenant"`
+	Collection string `json:"collection"`
+	Generation uint64 `json:"generation"`
+}
+
+// DetachRequest is the body of POST /admin/catalog/detach.
+type DetachRequest struct {
+	Tenant     string `json:"tenant"`
+	Collection string `json:"collection"`
+}
+
+// ListResponse is the body of GET /admin/catalog.
+type ListResponse struct {
+	Tenants []string    `json:"tenants"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// RouteResponse is the body of GET /admin/catalog/route.
+type RouteResponse struct {
+	Tenant     string `json:"tenant"`
+	Key        string `json:"key"`
+	Collection string `json:"collection"`
+}
+
+// SlowLogAllResponse is the body of GET /debug/slowlog/all: every
+// shard's retained slow queries in one list, annotated with tenant and
+// collection, most recent first.
+type SlowLogAllResponse struct {
+	Total   uint64             `json:"total"`
+	Entries []obs.SlowLogEntry `json:"entries"`
+}
+
+// Handler returns the catalog's HTTP API. It extends the single-tenant
+// service surface with addressing instead of replacing it:
+//
+//	POST /estimate              single-tenant body, or +{"tenant":...,"collection":...}; scatter when collection omitted
+//	GET  /admin/catalog         tenants and shards
+//	POST /admin/catalog/attach  body: a ShardSpec; loads and attaches the shard
+//	POST /admin/catalog/detach  {"tenant":...,"collection":...}; drains and removes
+//	GET  /admin/catalog/route   ?tenant=T&key=K: the collection owning document key K
+//	GET  /metrics               merged Prometheus rendering: catalog series plus every shard's, labeled tenant/collection
+//	GET  /debug/slowlog/all     all shards' slow queries, annotated, most recent first (?limit=N)
+//	GET  /healthz, /buildinfo   served directly
+//
+// Every other service endpoint (/stats, /synopsis, /feedback,
+// /debug/slowlog, /debug/accuracy, /debug/synopsis, /admin/reload,
+// /admin/rebuild) is delegated per shard, addressed with
+// ?tenant=T&collection=C query parameters; without them the default
+// shard answers, so a converted single-tenant deployment's clients and
+// scripts keep working unchanged.
+func (c *Catalog) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", c.handleEstimate)
+	mux.HandleFunc("GET /admin/catalog", c.handleList)
+	mux.HandleFunc("POST /admin/catalog/attach", c.handleAttach)
+	mux.HandleFunc("POST /admin/catalog/detach", c.handleDetach)
+	mux.HandleFunc("GET /admin/catalog/route", c.handleRoute)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog/all", c.handleSlowLogAll)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, service.ReadBuildInfo())
+	})
+	for _, ep := range []string{
+		"GET /stats",
+		"GET /synopsis",
+		"POST /feedback",
+		"GET /debug/slowlog",
+		"GET /debug/accuracy",
+		"GET /debug/synopsis",
+		"POST /admin/reload",
+		"POST /admin/rebuild",
+	} {
+		mux.HandleFunc(ep, c.delegate)
+	}
+	return mux
+}
+
+// shardForRequest resolves the shard a delegated request addresses from
+// its ?tenant=&collection= parameters, falling back to the default
+// shard when neither is present.
+func (c *Catalog) shardForRequest(r *http.Request) (*Shard, error) {
+	q := r.URL.Query()
+	tenant, collection := q.Get("tenant"), q.Get("collection")
+	if tenant == "" && collection == "" {
+		return c.DefaultShard()
+	}
+	if tenant == "" || collection == "" {
+		return nil, fmt.Errorf("%w: delegated endpoints need both tenant and collection", service.ErrUnknownCollection)
+	}
+	return c.Shard(tenant, collection)
+}
+
+// delegate forwards a request to the addressed shard's own handler. The
+// shard's mux routes on method and path; the addressing query
+// parameters are ignored by the shard's handlers.
+func (c *Catalog) delegate(w http.ResponseWriter, r *http.Request) {
+	sh, err := c.shardForRequest(r)
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	sh.svc.Handler().ServeHTTP(w, r)
+}
+
+func (c *Catalog) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "no queries"})
+		return
+	}
+	if req.Tenant == "" && req.Collection != "" {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "collection requires tenant"})
+		return
+	}
+
+	// Scatter: tenant without collection.
+	if req.Tenant != "" && req.Collection == "" {
+		c.scatterEstimateHTTP(w, r, req)
+		return
+	}
+
+	// Routed (or default) single-shard path: the response is exactly
+	// what the shard's own service would serve.
+	var (
+		sh  *Shard
+		err error
+	)
+	if req.Tenant == "" {
+		sh, err = c.DefaultShard()
+	} else {
+		sh, err = c.Shard(req.Tenant, req.Collection)
+	}
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	resp, err := sh.svc.RunEstimateRequest(r.Context(), req.EstimateRequest)
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, resp)
+}
+
+// scatterEstimateHTTP answers a scatter-gather estimate over HTTP.
+func (c *Catalog) scatterEstimateHTTP(w http.ResponseWriter, r *http.Request, req EstimateRequest) {
+	if req.Explain || req.Plan || req.Trace {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "explain/plan/trace are per-shard features; address a collection to use them",
+		})
+		return
+	}
+	results := make([]ScatterQueryResult, len(req.Queries))
+	var qs []*query.Query
+	var pos []int
+	for i, qstr := range req.Queries {
+		results[i].Query = qstr
+		q, err := query.Parse(qstr)
+		if err != nil {
+			results[i].Error = err.Error()
+			var perr *query.ParseError
+			if errors.As(err, &perr) {
+				off := perr.Offset
+				results[i].Offset = &off
+			}
+			continue
+		}
+		qs = append(qs, q)
+		pos = append(pos, i)
+	}
+	res, err := c.ScatterEstimate(r.Context(), req.Tenant, qs)
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	for j, i := range pos {
+		v := res.Selectivities[j]
+		results[i].Selectivity = &v
+	}
+	service.WriteJSON(w, http.StatusOK, ScatterResponse{
+		Tenant:      req.Tenant,
+		Collections: res.Collections,
+		Partial:     !res.Complete(),
+		Results:     results,
+		ShardErrors: res.Errors,
+	})
+}
+
+func (c *Catalog) handleList(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK, ListResponse{
+		Tenants: c.Tenants(),
+		Shards:  c.List(),
+	})
+}
+
+func (c *Catalog) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var spec ShardSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if err := spec.validate(); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sh, err := c.Attach(r.Context(), spec)
+	if err != nil {
+		service.WriteJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	service.WriteJSON(w, http.StatusCreated, AttachResponse{
+		Tenant:     sh.key.Tenant,
+		Collection: sh.key.Collection,
+		Generation: sh.svc.Generation(),
+	})
+}
+
+func (c *Catalog) handleDetach(w http.ResponseWriter, r *http.Request) {
+	var req DetachRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if err := c.Detach(r.Context(), req.Tenant, req.Collection); err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, map[string]string{
+		"status":     "detached",
+		"tenant":     req.Tenant,
+		"collection": req.Collection,
+	})
+}
+
+func (c *Catalog) handleRoute(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tenant, key := q.Get("tenant"), q.Get("key")
+	if tenant == "" || key == "" {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "route needs ?tenant=T&key=K"})
+		return
+	}
+	k, err := c.RouteDocument(tenant, key)
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, RouteResponse{
+		Tenant:     tenant,
+		Key:        key,
+		Collection: k.Collection,
+	})
+}
+
+// shardLabels renders a shard's Prometheus label prefix. The default
+// shard stays unlabeled when the catalog is configured for single-tenant
+// metrics compatibility.
+func (c *Catalog) shardLabels(sh *Shard) string {
+	if c.cfg.UnlabeledDefault && sh.key == c.cfg.DefaultKey {
+		return ""
+	}
+	return fmt.Sprintf("tenant=%q,collection=%q", sh.key.Tenant, sh.key.Collection)
+}
+
+func (c *Catalog) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	shards := c.allShards()
+	parts := make([]obs.Labeled, 0, len(shards)+1)
+	parts = append(parts, obs.Labeled{R: c.reg})
+	for _, sh := range shards {
+		sh.svc.SyncMetrics()
+		parts = append(parts, obs.Labeled{Labels: c.shardLabels(sh), R: sh.reg})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheusMerged(w, parts...) //nolint:errcheck // headers are out; nothing to do
+}
+
+func (c *Catalog) handleSlowLogAll(w http.ResponseWriter, r *http.Request) {
+	limitRaw := r.URL.Query().Get("limit")
+	limit, capped := 0, false
+	if limitRaw != "" {
+		n, err := strconv.Atoi(limitRaw)
+		if err != nil || n < 0 {
+			service.WriteJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("bad limit %q: want a non-negative integer", limitRaw),
+			})
+			return
+		}
+		limit, capped = n, true
+	}
+	resp := SlowLogAllResponse{Entries: []obs.SlowLogEntry{}}
+	for _, sh := range c.allShards() {
+		slow := sh.svc.SlowLog()
+		if slow == nil {
+			continue
+		}
+		resp.Total += slow.Total()
+		labels := c.shardLabels(sh) // "" for the unlabeled default shard
+		for _, e := range slow.Snapshot() {
+			if labels != "" {
+				e.Tenant = sh.key.Tenant
+				e.Collection = sh.key.Collection
+			}
+			resp.Entries = append(resp.Entries, e)
+		}
+	}
+	sort.SliceStable(resp.Entries, func(i, j int) bool {
+		return resp.Entries[i].Time.After(resp.Entries[j].Time)
+	})
+	if capped && len(resp.Entries) > limit {
+		resp.Entries = resp.Entries[:limit]
+	}
+	service.WriteJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,113 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%06d", i)
+	}
+	return keys
+}
+
+func locateAll(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owner, ok := r.Locate(k)
+		if !ok {
+			t.Fatalf("Locate(%q) on a populated ring failed", k)
+		}
+		out[k] = owner
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Locate("anything"); ok {
+		t.Fatal("Locate succeeded on an empty ring")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(8000)
+	counts := make(map[string]int)
+	for _, owner := range locateAll(t, r, keys) {
+		counts[owner]++
+	}
+	// With 128 virtual nodes per member the shares should be roughly
+	// even; accept a wide band to keep the test robust.
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; distribution %v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRebalancePinning pins the consistent-hash property the catalog
+// depends on: attaching a shard re-homes only the keys the new shard
+// takes over — no key moves between pre-existing members — and
+// detaching it restores the original assignment exactly.
+func TestRingRebalancePinning(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	keys := ringKeys(6000)
+	before := locateAll(t, r, keys)
+
+	r.Add("d")
+	after := locateAll(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] == after[k] {
+			continue
+		}
+		moved++
+		if after[k] != "d" {
+			t.Fatalf("key %q moved %s -> %s: keys may only move to the new member",
+				k, before[k], after[k])
+		}
+	}
+	// Expect roughly 1/4 of keys to move to the new member.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding 4th member moved %.1f%% of keys, want roughly 25%%", 100*frac)
+	}
+
+	r.Remove("d")
+	restored := locateAll(t, r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %q owner %s after remove, want original %s", k, restored[k], before[k])
+		}
+	}
+}
+
+func TestRingIdempotentMutation(t *testing.T) {
+	r := NewRing(16)
+	r.Add("a")
+	r.Add("a")
+	if got := len(r.points); got != 16 {
+		t.Fatalf("double Add left %d points, want 16", got)
+	}
+	r.Remove("missing")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removes: %d members, %d points", r.Len(), len(r.points))
+	}
+}

@@ -12,6 +12,12 @@ type CacheStats struct {
 	// Hits and Misses count cache lookups since construction (or the
 	// last capacity change).
 	Hits, Misses uint64
+	// Evictions counts entries displaced by capacity pressure (stale
+	// epoch drops and purges are not evictions). In a multi-tenant
+	// catalog, a tenant's eviction count can only be driven by its own
+	// traffic — each shard owns its caches — which the isolation tests
+	// assert.
+	Evictions uint64
 	// Len is the current number of cached entries; Capacity the maximum.
 	Len, Capacity int
 }
@@ -39,12 +45,13 @@ func (c CacheStats) HitRate() float64 {
 // and plan caches of an estimator can never serve values from different
 // epochs, even mid-swap while a slow writer races the bump.
 type lruCache[V any] struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 	// epoch is the shared invalidation counter (owned by the Estimator;
 	// the same counter backs both of its caches).
 	epoch *atomic.Uint64
@@ -111,6 +118,7 @@ func (c *lruCache[V]) put(key string, val V) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry[V]).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -129,9 +137,10 @@ func (c *lruCache[V]) stats() CacheStats {
 	n := c.ll.Len()
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Len:      n,
-		Capacity: c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       n,
+		Capacity:  c.capacity,
 	}
 }

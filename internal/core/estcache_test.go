@@ -1,0 +1,42 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestLRUEvictionCounter: only capacity pressure counts as an eviction —
+// epoch invalidation and purges drop entries without incrementing it, so
+// the counter isolates "my working set outgrew my cache" from lifecycle
+// churn.
+func TestLRUEvictionCounter(t *testing.T) {
+	var epoch atomic.Uint64
+	c := newLRUCache[int](2, &epoch)
+	c.put("a", 1)
+	c.put("b", 2)
+	if st := c.stats(); st.Evictions != 0 || st.Len != 2 {
+		t.Fatalf("stats after fill = %+v, want 0 evictions, len 2", st)
+	}
+	c.put("c", 3) // displaces "a"
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("evicted entry still present")
+	}
+	// Re-putting an existing key is an update, not an eviction.
+	c.put("c", 4)
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions after update = %d, want 1", st.Evictions)
+	}
+	// Epoch invalidation stales entries; the lazy drop on lookup is a
+	// miss, not an eviction.
+	epoch.Add(1)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	c.purge()
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions after purge = %d, want 1", st.Evictions)
+	}
+}

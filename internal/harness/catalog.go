@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"xcluster/internal/catalog"
+	"xcluster/internal/core"
+	"xcluster/internal/query"
+	"xcluster/internal/xmltree"
+)
+
+// CatalogRow is one dataset of the scatter-gather experiment: the cost
+// of estimating a workload across a sharded corpus through the catalog
+// versus against one shard directly, with the routing spread of the
+// tenant's consistent-hash ring.
+type CatalogRow struct {
+	Dataset string `json:"dataset"`
+	// Shards is the number of collections the tenant's corpus is split
+	// into; Queries the batch size of each scatter call.
+	Shards  int `json:"shards"`
+	Queries int `json:"queries"`
+	Workers int `json:"workers"`
+	Iters   int `json:"iters"`
+	// DirectNsPerQuery is the per-query cost of a plain EstimateBatch
+	// against a single shard's service; ScatterNsPerQuery the per-query
+	// cost of the same batch scattered across all shards and gathered.
+	DirectNsPerQuery  float64 `json:"direct_ns_per_query"`
+	ScatterNsPerQuery float64 `json:"scatter_ns_per_query"`
+	// ScatterQPS is aggregate estimated queries per second through the
+	// scatter path (Iters * Queries / elapsed).
+	ScatterQPS float64 `json:"scatter_qps"`
+	// Partial counts scatter calls that returned with missing shards
+	// (must be 0 on a healthy catalog; reported so the JSON is
+	// self-checking), and Mismatches scatter aggregates that differed
+	// bit-for-bit from the sequential per-shard sum (must be 0).
+	Partial    int `json:"partial"`
+	Mismatches int `json:"mismatches"`
+	// RouteSpread is the max/min collection share over a synthetic
+	// document-key population on the tenant's ring (1.0 = perfectly
+	// even; the ring's virtual nodes keep this small).
+	RouteSpread float64 `json:"route_spread"`
+	// Metrics is the catalog registry snapshot (scatter outcome and
+	// per-shard failure counters), keyed by Prometheus series name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// catalogExperimentShards is the number of collections the experiment
+// splits the tenant's corpus into.
+const catalogExperimentShards = 4
+
+// CatalogExperiment measures multi-shard serving on one dataset: it
+// attaches the dataset's synopsis as several collections of one tenant,
+// scatters the positive workload across them on the catalog's bounded
+// worker pool, cross-checks every aggregate bit-for-bit against the
+// sequential per-shard sum, and reports per-query costs next to the
+// single-shard direct path. workers bounds the scatter pool (0: the
+// catalog default) and iters is the number of scatter calls (0: 200).
+func CatalogExperiment(d *Dataset, cfg Config, workers, iters int) (CatalogRow, error) {
+	if iters <= 0 {
+		iters = 200
+	}
+	syn, err := cfg.BuildAt(d, d.Ref.StructBytes()/20)
+	if err != nil {
+		return CatalogRow{}, err
+	}
+	cat, err := catalog.New(catalog.Config{
+		Loader: func(ctx context.Context, spec catalog.ShardSpec) (*core.Synopsis, *xmltree.Tree, error) {
+			return syn, nil, nil
+		},
+		ScatterWorkers: workers,
+	})
+	if err != nil {
+		return CatalogRow{}, err
+	}
+	ctx := context.Background()
+	defer cat.DrainAll(ctx) //nolint:errcheck // experiment teardown
+
+	const tenant = "bench"
+	collections := make([]string, catalogExperimentShards)
+	for i := range collections {
+		collections[i] = fmt.Sprintf("s%d", i)
+		if _, err := cat.Attach(ctx, catalog.ShardSpec{
+			Tenant: tenant, Collection: collections[i],
+			Synopsis: fmt.Sprintf("mem:%s/%s", d.Name, collections[i]),
+		}); err != nil {
+			return CatalogRow{}, err
+		}
+	}
+
+	qs := make([]*query.Query, 0, len(d.Workload.Queries))
+	for i := range d.Workload.Queries {
+		qs = append(qs, d.Workload.Queries[i].Q)
+	}
+	if len(qs) == 0 {
+		return CatalogRow{}, fmt.Errorf("harness: dataset %s has an empty workload", d.Name)
+	}
+
+	// Ground truth: per-shard batches summed in sorted collection order,
+	// the same order the gather path uses, so aggregates must match
+	// bit-for-bit (float addition is order-sensitive).
+	want := make([]float64, len(qs))
+	for _, coll := range collections {
+		sh, err := cat.Shard(tenant, coll)
+		if err != nil {
+			return CatalogRow{}, err
+		}
+		vals, err := sh.Service().EstimateBatch(ctx, qs)
+		if err != nil {
+			return CatalogRow{}, err
+		}
+		for i, v := range vals {
+			want[i] += v
+		}
+	}
+	res, err := cat.ScatterEstimate(ctx, tenant, qs)
+	if err != nil {
+		return CatalogRow{}, err
+	}
+	mismatches := 0
+	for i := range qs {
+		if res.Selectivities[i] != want[i] {
+			mismatches++
+		}
+	}
+
+	// Direct baseline: one shard answering the batch without fan-out.
+	first, err := cat.Shard(tenant, collections[0])
+	if err != nil {
+		return CatalogRow{}, err
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := first.Service().EstimateBatch(ctx, qs); err != nil {
+			return CatalogRow{}, err
+		}
+	}
+	directElapsed := time.Since(t0)
+
+	// Scatter path under load.
+	partial := 0
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		r, err := cat.ScatterEstimate(ctx, tenant, qs)
+		if err != nil {
+			return CatalogRow{}, err
+		}
+		if !r.Complete() {
+			partial++
+		}
+	}
+	scatterElapsed := time.Since(t0)
+
+	// Routing spread of a synthetic document-key population.
+	counts := make(map[string]int, len(collections))
+	const routeKeys = 2000
+	for i := 0; i < routeKeys; i++ {
+		k, err := cat.RouteDocument(tenant, fmt.Sprintf("doc-%05d", i))
+		if err != nil {
+			return CatalogRow{}, err
+		}
+		counts[k.Collection]++
+	}
+	minC, maxC := routeKeys, 0
+	for _, coll := range collections {
+		if counts[coll] < minC {
+			minC = counts[coll]
+		}
+		if counts[coll] > maxC {
+			maxC = counts[coll]
+		}
+	}
+	spread := 0.0
+	if minC > 0 {
+		spread = float64(maxC) / float64(minC)
+	}
+
+	ops := float64(iters * len(qs))
+	row := CatalogRow{
+		Dataset:           d.Name,
+		Shards:            len(collections),
+		Queries:           len(qs),
+		Workers:           workers,
+		Iters:             iters,
+		DirectNsPerQuery:  float64(directElapsed.Nanoseconds()) / ops,
+		ScatterNsPerQuery: float64(scatterElapsed.Nanoseconds()) / ops,
+		Partial:           partial,
+		Mismatches:        mismatches,
+		RouteSpread:       spread,
+		Metrics:           cat.Registry().Snapshot(),
+	}
+	if s := scatterElapsed.Seconds(); s > 0 {
+		row.ScatterQPS = ops / s
+	}
+	return row, nil
+}
+
+// FormatCatalogJSON renders the experiment rows as indented JSON (the
+// machine-readable output of `xclusterbench -experiment catalog`).
+func FormatCatalogJSON(rows []CatalogRow) string {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err)
+	}
+	return string(b)
+}
+
+// FormatCatalog renders the experiment rows as aligned text.
+func FormatCatalog(rows []CatalogRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Catalog Scatter-Gather (%d shards per tenant)\n", catalogExperimentShards)
+	fmt.Fprintf(&sb, "%-8s %8s %13s %14s %12s %8s %8s %7s\n",
+		"", "Queries", "Direct ns/q", "Scatter ns/q", "Scatter q/s", "Partial", "Mismatch", "Spread")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %8d %13.0f %14.0f %12.0f %8d %8d %7.2f\n",
+			r.Dataset, r.Queries, r.DirectNsPerQuery, r.ScatterNsPerQuery, r.ScatterQPS, r.Partial, r.Mismatches, r.RouteSpread)
+	}
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCatalogExperiment runs the scatter-gather experiment at small
+// scale on one dataset and checks its self-validating invariants: no
+// partial scatters, bit-for-bit aggregate agreement with the sequential
+// per-shard sum, and a populated routing spread.
+func TestCatalogExperiment(t *testing.T) {
+	d, err := NewDataset("IMDB", smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := CatalogExperiment(d, smallCfg(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Shards != catalogExperimentShards {
+		t.Fatalf("shards = %d, want %d", row.Shards, catalogExperimentShards)
+	}
+	if row.Mismatches != 0 {
+		t.Fatalf("%d scatter aggregates differ from the sequential per-shard sum", row.Mismatches)
+	}
+	if row.Partial != 0 {
+		t.Fatalf("%d scatter calls came back partial on a healthy catalog", row.Partial)
+	}
+	if row.Queries == 0 || row.ScatterNsPerQuery <= 0 || row.DirectNsPerQuery <= 0 {
+		t.Fatalf("degenerate timings: %+v", row)
+	}
+	if row.RouteSpread < 1 {
+		t.Fatalf("route spread %v: some collection received no documents", row.RouteSpread)
+	}
+	// Counters: the ground-truth call plus the timed loop all succeeded.
+	if got := row.Metrics[`xcluster_catalog_scatter_total{outcome="ok"}`]; got != float64(1+row.Iters) {
+		t.Fatalf("ok scatter counter = %v, want %d", got, 1+row.Iters)
+	}
+}
+
+// TestCatalogFormats sanity-checks the two renderings.
+func TestCatalogFormats(t *testing.T) {
+	rows := []CatalogRow{{Dataset: "IMDB", Shards: 4, Queries: 40, Iters: 3, ScatterQPS: 1000, RouteSpread: 1.5}}
+	txt := FormatCatalog(rows)
+	if !strings.Contains(txt, "Scatter-Gather") || !strings.Contains(txt, "IMDB") {
+		t.Fatalf("text rendering: %q", txt)
+	}
+	var back []CatalogRow
+	if err := json.Unmarshal([]byte(FormatCatalogJSON(rows)), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Dataset != "IMDB" {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+}

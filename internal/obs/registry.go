@@ -319,7 +319,38 @@ func escapeHelp(s string) string {
 // sorted by label string, histograms as cumulative _bucket/_sum/_count
 // series. The output is deterministic for a fixed registry state.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.RLock()
+	return WritePrometheusMerged(w, Labeled{R: r})
+}
+
+// Labeled pairs a registry with base labels prepended to every series it
+// contributes to a merged rendering (e.g. `tenant="acme",collection="docs"`
+// for one shard's registry; "" contributes the series unchanged).
+type Labeled struct {
+	Labels string
+	R      *Registry
+}
+
+// joinLabels renders base labels before series labels, either possibly
+// empty.
+func joinLabels(base, labels string) string {
+	if base == "" {
+		return labels
+	}
+	if labels == "" {
+		return base
+	}
+	return base + "," + labels
+}
+
+// WritePrometheusMerged renders several registries as one Prometheus
+// exposition, each part's series carrying its base labels: the
+// multi-tenant scrape shape, where every shard owns a registry and the
+// catalog renders them side by side under tenant/collection labels.
+// Families appearing in several parts render once (first help text
+// wins); a single unlabeled part renders byte-identically to that
+// registry's own WritePrometheus. Metric names must keep a single kind
+// across all parts, as within one registry.
+func WritePrometheusMerged(w io.Writer, parts ...Labeled) error {
 	type series struct {
 		labels string
 		c      *Counter
@@ -328,26 +359,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	families := make(map[string][]series)
 	kind := make(map[string]string)
-	add := func(k metricKey, s series) {
-		families[k.name] = append(families[k.name], s)
+	help := make(map[string]string)
+	for _, part := range parts {
+		r := part.R
+		if r == nil {
+			continue
+		}
+		r.mu.RLock()
+		for k, c := range r.counters {
+			families[k.name] = append(families[k.name], series{labels: joinLabels(part.Labels, k.labels), c: c})
+			kind[k.name] = "counter"
+		}
+		for k, g := range r.gauges {
+			families[k.name] = append(families[k.name], series{labels: joinLabels(part.Labels, k.labels), g: g})
+			kind[k.name] = "gauge"
+		}
+		for k, h := range r.hists {
+			families[k.name] = append(families[k.name], series{labels: joinLabels(part.Labels, k.labels), h: h})
+			kind[k.name] = "histogram"
+		}
+		for name, text := range r.help {
+			if _, ok := help[name]; !ok {
+				help[name] = text
+			}
+		}
+		r.mu.RUnlock()
 	}
-	for k, c := range r.counters {
-		add(k, series{labels: k.labels, c: c})
-		kind[k.name] = "counter"
-	}
-	for k, g := range r.gauges {
-		add(k, series{labels: k.labels, g: g})
-		kind[k.name] = "gauge"
-	}
-	for k, h := range r.hists {
-		add(k, series{labels: k.labels, h: h})
-		kind[k.name] = "histogram"
-	}
-	help := make(map[string]string, len(r.help))
-	for name, text := range r.help {
-		help[name] = text
-	}
-	r.mu.RUnlock()
 
 	names := make([]string, 0, len(families))
 	for name := range families {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -171,6 +172,73 @@ test_seconds_count 3
 	r.WritePrometheus(&sb2)
 	if sb.String() != sb2.String() {
 		t.Errorf("WritePrometheus is not deterministic")
+	}
+}
+
+// TestWritePrometheusMerged pins the multi-registry rendering: two
+// "shard" registries under tenant/collection base labels plus one
+// unlabeled catalog registry merge into a single exposition with each
+// family rendered once and every labeled series carrying its base
+// labels first.
+func TestWritePrometheusMerged(t *testing.T) {
+	catalog := NewRegistry()
+	catalog.Help("test_shards", "Attached shards.")
+	catalog.Gauge("test_shards", "").Set(2)
+
+	a := NewRegistry()
+	a.Help("test_requests_total", "Total requests.")
+	a.Counter("test_requests_total", `outcome="ok"`).Add(3)
+	ha := a.Histogram("test_seconds", "", []float64{1})
+	ha.Observe(0.5)
+
+	b := NewRegistry()
+	b.Help("test_requests_total", "Total requests (duplicate help, first wins).")
+	b.Counter("test_requests_total", `outcome="ok"`).Add(5)
+	b.Counter("test_requests_total", "").Inc()
+
+	want := `# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{tenant="acme",collection="docs",outcome="ok"} 3
+test_requests_total{tenant="beta",collection="logs"} 1
+test_requests_total{tenant="beta",collection="logs",outcome="ok"} 5
+# TYPE test_seconds histogram
+test_seconds_bucket{tenant="acme",collection="docs",le="1"} 1
+test_seconds_bucket{tenant="acme",collection="docs",le="+Inf"} 1
+test_seconds_sum{tenant="acme",collection="docs"} 0.5
+test_seconds_count{tenant="acme",collection="docs"} 1
+# HELP test_shards Attached shards.
+# TYPE test_shards gauge
+test_shards 2
+`
+	var sb strings.Builder
+	if err := WritePrometheusMerged(&sb,
+		Labeled{R: catalog},
+		Labeled{Labels: `tenant="acme",collection="docs"`, R: a},
+		Labeled{Labels: `tenant="beta",collection="logs"`, R: b},
+	); err != nil {
+		t.Fatalf("WritePrometheusMerged: %v", err)
+	}
+	if sb.String() != want {
+		t.Errorf("merged output mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// A single unlabeled part is byte-identical to the registry's own
+	// rendering: the single-tenant scrape is unchanged by the merge path.
+	var direct, merged strings.Builder
+	if err := a.WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusMerged(&merged, Labeled{R: a}); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != merged.String() {
+		t.Errorf("unlabeled merge diverges from WritePrometheus:\n%s\nvs\n%s",
+			merged.String(), direct.String())
+	}
+
+	// A nil registry part contributes nothing rather than panicking.
+	if err := WritePrometheusMerged(io.Discard, Labeled{Labels: `x="y"`}); err != nil {
+		t.Fatalf("nil part: %v", err)
 	}
 }
 

@@ -20,7 +20,12 @@ type SlowLogSpan struct {
 // went. Total is the human-readable rendering of TotalNanos; Record
 // fills it when the caller leaves it empty.
 type SlowLogEntry struct {
-	Time       time.Time     `json:"time"`
+	Time time.Time `json:"time"`
+	// Tenant and Collection identify the shard that served the query in
+	// a multi-tenant catalog; both stay empty (and absent from the JSON)
+	// in single-tenant deployments, whose log shape is unchanged.
+	Tenant     string        `json:"tenant,omitempty"`
+	Collection string        `json:"collection,omitempty"`
 	Query      string        `json:"query"`
 	Plan       string        `json:"plan,omitempty"`
 	Estimate   float64       `json:"estimate"`

@@ -21,6 +21,63 @@ import (
 // maxRequestBytes bounds the size of a POST /estimate body.
 const maxRequestBytes = 1 << 20
 
+// MaxRequestBytes is the request-body bound shared by every JSON
+// endpoint of this service and of the multi-tenant catalog front-end
+// built on top of it.
+const MaxRequestBytes = maxRequestBytes
+
+// Catalog addressing errors. The sentinels live here, next to their
+// HTTP mapping (ErrorStatus), so the single-tenant service and the
+// multi-tenant catalog front-end report unknown-resource and draining
+// failures with one consistent JSON body instead of generic 500s. Test
+// with errors.Is; re-exported at the repository root.
+var (
+	// ErrUnknownTenant reports a request addressing a tenant the
+	// catalog has no shards for (HTTP 404).
+	ErrUnknownTenant = errors.New("service: unknown tenant")
+	// ErrUnknownCollection reports a request addressing a collection
+	// the tenant does not have (HTTP 404).
+	ErrUnknownCollection = errors.New("service: unknown collection")
+	// ErrShardDraining reports a request addressing a shard that is
+	// being detached: in-flight work finishes, new work is refused
+	// (HTTP 503).
+	ErrShardDraining = errors.New("service: shard draining")
+)
+
+// ErrorStatus maps a service or catalog error to its HTTP status:
+// unknown tenants and collections are 404, draining shards and expired
+// deadlines 503, rebuild conflicts 409, missing preconditions 412, and
+// anything else 500.
+func ErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrUnknownCollection):
+		return http.StatusNotFound
+	case errors.Is(err, ErrShardDraining),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrRebuildInProgress):
+		return http.StatusConflict
+	case errors.Is(err, ErrNoSource), errors.Is(err, ErrNoDocument):
+		return http.StatusPreconditionFailed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// WriteError writes err as the service's standard JSON error body with
+// the ErrorStatus status code.
+func WriteError(w http.ResponseWriter, err error) {
+	httpError(w, ErrorStatus(err), err.Error())
+}
+
+// WriteJSON writes v as an indented JSON response body with the given
+// status, the rendering every endpoint of the service (and the catalog
+// front-end) uses.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, v)
+}
+
 // EstimateRequest is the body of POST /estimate.
 type EstimateRequest struct {
 	// Queries are twig queries in the XPath fragment ParseQuery accepts.
@@ -291,7 +348,24 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no queries")
 		return
 	}
+	resp, err := s.RunEstimateRequest(r.Context(), req)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
+// RunEstimateRequest answers one EstimateRequest end to end: it parses
+// each query (per-query failures land inline in the results), runs the
+// parseable ones as one batch pinned to a single synopsis generation,
+// and renders traces, explanations, and plans as requested. It is the
+// body of POST /estimate, exported so the multi-tenant catalog
+// front-end can route the same request shape to a shard — the
+// single-tenant response is byte-for-byte what this service's own
+// handler returns. A non-nil error is a whole-request failure (map it
+// with ErrorStatus).
+func (s *Service) RunEstimateRequest(ctx context.Context, req EstimateRequest) (EstimateResponse, error) {
 	results := make([]EstimateResult, len(req.Queries))
 	var qs []*query.Query      // parsed queries, in request order
 	var pos []int              // pos[j] = results index of qs[j]
@@ -316,14 +390,9 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		parsed = append(parsed, d)
 	}
 
-	sels, traces, err := s.EstimateBatchTraced(r.Context(), qs)
+	sels, traces, err := s.EstimateBatchTraced(ctx, qs)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusServiceUnavailable
-		}
-		httpError(w, status, err.Error())
-		return
+		return EstimateResponse{}, err
 	}
 	for j, i := range pos {
 		v := sels[j]
@@ -343,7 +412,7 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			results[i].Plan = plan
 		}
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{Results: results})
+	return EstimateResponse{Results: results}, nil
 }
 
 // renderTrace combines the HTTP layer's parse span with the core

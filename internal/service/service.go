@@ -340,6 +340,13 @@ func (s *Service) syncRegistry() {
 	}
 }
 
+// SyncMetrics mirrors scrape-time state (cache counters and occupancy,
+// synopsis size, uptime, shadow counters) into the service's registry.
+// The service's own /metrics handler calls it before rendering; the
+// multi-tenant catalog front-end calls it for each shard before a
+// merged render.
+func (s *Service) SyncMetrics() { s.syncRegistry() }
+
 // Synopsis returns the currently served synopsis generation.
 func (s *Service) Synopsis() *core.Synopsis { return s.cur.Load().syn }
 
