@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench bench-json bench-build bench-catalog
+.PHONY: check build test bench bench-json bench-build bench-catalog bench-obs
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -40,3 +40,10 @@ bench-build:
 bench-catalog:
 	$(GO) run ./cmd/xclusterbench -experiment catalog > BENCH_catalog.json
 	@echo "wrote BENCH_catalog.json"
+
+# Machine-readable observability benchmark: tracing-off vs tracing-on
+# ns/op and allocs/op on the prepared serving hot path (the sampled-out
+# overhead must stay under 10%) as JSON at the repo root.
+bench-obs:
+	$(GO) run ./cmd/xclusterbench -experiment obs > BENCH_obs.json
+	@echo "wrote BENCH_obs.json"

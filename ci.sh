@@ -39,8 +39,11 @@ go test -run=Fuzz ./...
 # Machine-readable benchmark artifacts, kept at the repo root for
 # comparison across revisions: the prepared-execution experiment
 # (performance + per-class accuracy), the build experiment (serial vs
-# parallel vs memoized construction), and the catalog experiment
-# (scatter-gather vs single-shard estimation across a sharded corpus).
+# parallel vs memoized construction), the catalog experiment
+# (scatter-gather vs single-shard estimation across a sharded corpus),
+# and the observability experiment (tracing-off vs tracing-on overhead
+# on the serving hot path).
 make bench-json
 make bench-build
 make bench-catalog
+make bench-obs

@@ -12,6 +12,7 @@
 //	xclusterbench -experiment prepared  # compile-once speedup (JSON)
 //	xclusterbench -experiment build     # serial vs parallel vs memoized construction (JSON)
 //	xclusterbench -experiment catalog   # scatter-gather throughput across a sharded corpus (JSON)
+//	xclusterbench -experiment obs       # observability overhead on the serving hot path (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -33,7 +34,7 @@ import (
 
 // validExperiments lists the -experiment selector's legal values; an
 // unknown name is a hard error naming them, not a silent no-op.
-var validExperiments = []string{"negative", "ablations", "autobudget", "throughput", "prepared", "build", "catalog"}
+var validExperiments = []string{"negative", "ablations", "autobudget", "throughput", "prepared", "build", "catalog", "obs"}
 
 var (
 	validTables  = []string{"1", "2"}
@@ -195,6 +196,16 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, harness.FormatBuild(rows))
 		fmt.Println(harness.FormatBuildJSON(rows))
+	}
+	if *experiment == "obs" { // opt-in: wall-clock sensitive
+		var rows []harness.ObsRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.ObsExperiment(load(name), cfg, 0)
+			check(err)
+			rows = append(rows, r)
+		}
+		fmt.Fprintln(os.Stderr, harness.FormatObs(rows))
+		fmt.Println(harness.FormatObsJSON(rows))
 	}
 	if *experiment == "catalog" { // opt-in: wall-clock sensitive
 		var rows []harness.CatalogRow

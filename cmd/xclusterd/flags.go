@@ -30,6 +30,11 @@ type config struct {
 	bval           int
 	rebuildOnDrift bool
 	buildWorkers   int
+
+	// Server-wide SLO defaults; manifest shard entries override them.
+	sloAvailability  float64
+	sloLatency       time.Duration
+	sloLatencyTarget float64
 }
 
 const usageLine = "usage: xclusterd -syn syn.bin | -catalog manifest.json [-addr :8080] [-doc doc.xml] [-bstr N -bval N] [-shadow-rate 0.01] [-timeout 5s] [-slowquery 100ms] [-pprof-addr :6060]"
@@ -63,6 +68,9 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	fs.IntVar(&c.bval, "bval", 0, "value-summary byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.BoolVar(&c.rebuildOnDrift, "rebuild-on-drift", false, "trigger a background rebuild when accuracy drift is detected (requires -doc)")
 	fs.IntVar(&c.buildWorkers, "build-workers", 0, "merge-candidate evaluation goroutines for /admin/rebuild (default GOMAXPROCS; never changes the built synopsis)")
+	fs.Float64Var(&c.sloAvailability, "slo-availability", 0, "availability objective in (0,1), e.g. 0.999 (0 disables; manifest shard entries override)")
+	fs.DurationVar(&c.sloLatency, "slo-latency", 0, "latency objective per estimate, e.g. 50ms (0 disables; manifest shard entries override)")
+	fs.Float64Var(&c.sloLatencyTarget, "slo-latency-target", 0, "fraction of requests that must beat -slo-latency (default 0.99; requires -slo-latency)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,6 +138,22 @@ func (c *config) validate(set map[string]bool) error {
 	}
 	if c.buildWorkers < 0 {
 		return fmt.Errorf("-build-workers must be non-negative (0 = GOMAXPROCS), got %d", c.buildWorkers)
+	}
+	// SLO flags are server-wide defaults, legitimate in both modes (the
+	// manifest's per-shard objectives win where both are set).
+	if c.sloAvailability != 0 && (c.sloAvailability <= 0 || c.sloAvailability >= 1) {
+		return fmt.Errorf("-slo-availability must be in (0,1), got %g", c.sloAvailability)
+	}
+	if c.sloLatency < 0 {
+		return fmt.Errorf("-slo-latency must be non-negative, got %v", c.sloLatency)
+	}
+	if set["slo-latency-target"] {
+		if c.sloLatencyTarget <= 0 || c.sloLatencyTarget >= 1 {
+			return fmt.Errorf("-slo-latency-target must be in (0,1), got %g", c.sloLatencyTarget)
+		}
+		if c.sloLatency == 0 {
+			return fmt.Errorf("-slo-latency-target requires -slo-latency (the objective it applies to)")
+		}
 	}
 	// In catalog mode rebuilds are per shard (manifest documents), so
 	// -build-workers is a legitimate server-wide knob there.

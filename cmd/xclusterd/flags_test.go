@@ -58,6 +58,11 @@ func TestParseFlagsRejections(t *testing.T) {
 		{"drift without doc", []string{"-syn", "s", "-rebuild-on-drift"}, "requires -doc"},
 		{"negative build workers", []string{"-syn", "s", "-doc", "d", "-build-workers", "-1"}, "-build-workers must be non-negative"},
 		{"build workers without doc", []string{"-syn", "s", "-build-workers", "4"}, "requires -doc"},
+		{"slo availability above one", []string{"-syn", "s", "-slo-availability", "1.5"}, "-slo-availability must be in (0,1)"},
+		{"slo availability exactly one", []string{"-syn", "s", "-slo-availability", "1"}, "-slo-availability must be in (0,1)"},
+		{"negative slo latency", []string{"-syn", "s", "-slo-latency", "-50ms"}, "-slo-latency must be non-negative"},
+		{"slo target out of range", []string{"-syn", "s", "-slo-latency", "50ms", "-slo-latency-target", "1.2"}, "-slo-latency-target must be in (0,1)"},
+		{"slo target without latency", []string{"-syn", "s", "-slo-latency-target", "0.95"}, "-slo-latency-target requires -slo-latency"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -98,6 +103,22 @@ func TestParseFlagsDefaultBudgetsAllowed(t *testing.T) {
 	}
 	if c.bstr != 0 || c.bval != 0 {
 		t.Fatalf("budgets %d/%d, want 0/0", c.bstr, c.bval)
+	}
+}
+
+// TestParseFlagsSLO: SLO objectives are server-wide defaults valid in
+// both single-shard and catalog mode (manifest entries override them).
+func TestParseFlagsSLO(t *testing.T) {
+	c, err := parseFlags([]string{"-syn", "s.bin",
+		"-slo-availability", "0.999", "-slo-latency", "50ms", "-slo-latency-target", "0.95"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.sloAvailability != 0.999 || c.sloLatency != 50*time.Millisecond || c.sloLatencyTarget != 0.95 {
+		t.Fatalf("parsed SLO %+v", c)
+	}
+	if _, err := parseFlags([]string{"-catalog", "m.json", "-slo-availability", "0.99"}, io.Discard); err != nil {
+		t.Fatalf("catalog-mode SLO default rejected: %v", err)
 	}
 }
 

@@ -24,6 +24,9 @@
 //	curl -s localhost:8080/metrics        # Prometheus text format (tenant/collection labels)
 //	curl -s localhost:8080/stats          # JSON counters + percentiles (?tenant=&collection=)
 //	curl -s localhost:8080/debug/slowlog  # per-shard ring buffer; /debug/slowlog/all merges shards
+//	curl -s localhost:8080/debug/traces   # recent + slowest request trace trees, correlated by X-Request-ID
+//	curl -s localhost:8080/debug/slo      # per-tenant SLO reports: multi-window error-budget burn rates
+//	curl -s localhost:8080/readyz         # 503 before the first shard attaches and while draining
 //	curl -s localhost:8080/debug/accuracy # per-class estimation error + drift flags
 //	curl -s localhost:8080/debug/synopsis # clusters, budget split, generation, rebuild status
 //	curl -s localhost:8080/admin/catalog  # attached shards
@@ -76,6 +79,7 @@ import (
 	"xcluster/internal/accuracy"
 	"xcluster/internal/catalog"
 	"xcluster/internal/core"
+	"xcluster/internal/obs"
 	"xcluster/internal/service"
 	"xcluster/internal/xmltree"
 )
@@ -243,6 +247,16 @@ func main() {
 			if cfg.buildWorkers > 0 {
 				opts = append(opts, service.WithBuildWorkers(cfg.buildWorkers))
 			}
+			// Server-wide SLO defaults; a shard's manifest objectives are
+			// appended after these by the catalog and win.
+			slo := obs.SLOConfig{
+				Availability:     cfg.sloAvailability,
+				LatencyObjective: cfg.sloLatency,
+				LatencyTarget:    cfg.sloLatencyTarget,
+			}
+			if slo.Enabled() {
+				opts = append(opts, service.WithSLO(slo))
+			}
 			return opts
 		},
 		ScatterWorkers: m.ScatterWorkers,
@@ -359,6 +373,10 @@ func main() {
 		)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
+		// Flip readiness first: GET /readyz answers 503 while in-flight
+		// handlers finish, so load balancers stop routing before the
+		// listener closes.
+		cat.BeginShutdown()
 		// Stop accepting and wait for in-flight HTTP handlers, then
 		// drain every shard's estimation work (EstimateBatch workers,
 		// shadow pools), all under the one -drain deadline.
@@ -372,6 +390,7 @@ func main() {
 			for _, e := range ref.svc.SlowLog().Snapshot() {
 				logger.Warn("slow query",
 					"shard", ref.key,
+					"request_id", e.RequestID,
 					"query", e.Query,
 					"plan", e.Plan,
 					"estimate", e.Estimate,

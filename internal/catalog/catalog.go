@@ -113,6 +113,17 @@ type Catalog struct {
 	tenants map[string]*tenantState
 	closed  bool
 
+	// draining flips readiness (GET /readyz → 503) ahead of DrainAll:
+	// the daemon calls BeginShutdown before closing the listener so load
+	// balancers stop routing before in-flight work is waited out.
+	draining atomic.Bool
+
+	// traces retains completed request trace trees for the catalog's
+	// /debug/traces; runtime samples runtime/metrics into the catalog
+	// registry at scrape time.
+	traces  *obs.TraceStore
+	runtime *obs.RuntimeSampler
+
 	scatterTotal  map[string]*obs.Counter // by outcome
 	shardErrTotal map[string]*obs.Counter // by reason
 }
@@ -129,6 +140,8 @@ func New(cfg Config) (*Catalog, error) {
 		cfg:     cfg,
 		reg:     obs.NewRegistry(),
 		tenants: make(map[string]*tenantState),
+		traces:  obs.NewTraceStore(0, 0),
+		runtime: obs.NewRuntimeSampler(),
 	}
 	c.reg.Help("xcluster_catalog_shards", "Attached shards in the catalog.")
 	c.reg.Help("xcluster_catalog_scatter_total", "Scatter-gather estimate calls by outcome (ok, partial, failed).")
@@ -151,6 +164,35 @@ func New(cfg Config) (*Catalog, error) {
 // scatter outcomes). Per-shard serving metrics live in each shard's
 // registry and are merged with tenant/collection labels at render time.
 func (c *Catalog) Registry() *obs.Registry { return c.reg }
+
+// Traces returns the catalog's request trace store.
+func (c *Catalog) Traces() *obs.TraceStore { return c.traces }
+
+// BeginShutdown flips the catalog not-ready (GET /readyz → 503) without
+// touching the serving paths. Call it before stopping the listener so
+// load balancers drain traffic ahead of DrainAll.
+func (c *Catalog) BeginShutdown() { c.draining.Store(true) }
+
+// Ready reports whether the catalog should receive traffic, with a
+// human-readable reason when it should not: false while shutting down
+// or before the first shard (the first live synopsis generation) is
+// attached.
+func (c *Catalog) Ready() (bool, string) {
+	if c.draining.Load() {
+		return false, "draining"
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return false, "draining"
+	}
+	for _, ts := range c.tenants {
+		if len(ts.shards) > 0 {
+			return true, "ready"
+		}
+	}
+	return false, "no shards attached"
+}
 
 // DefaultKey returns the configured single-tenant compatibility key and
 // whether one is set.
@@ -244,6 +286,11 @@ func (c *Catalog) buildShard(ctx context.Context, spec ShardSpec) (*Shard, error
 	}
 	if spec.StructBudget > 0 || spec.ValueBudget > 0 {
 		opts = append(opts, service.WithRebuildBudgets(spec.StructBudget, spec.ValueBudget))
+	}
+	// Manifest objectives override any server-wide SLO defaults the
+	// daemon put in ShardOptions (later options win).
+	if spec.SLO().Enabled() {
+		opts = append(opts, service.WithSLO(spec.SLO()))
 	}
 	// Reload re-runs the loader with the same spec, so per-shard
 	// /admin/reload picks up a re-serialized synopsis.
@@ -438,6 +485,7 @@ func (c *Catalog) Tenants() []string {
 // order and closes the catalog; later Attach calls fail. Used at
 // daemon shutdown.
 func (c *Catalog) DrainAll(ctx context.Context) error {
+	c.draining.Store(true)
 	c.mu.Lock()
 	c.closed = true
 	shards := make([]*Shard, 0, 8)

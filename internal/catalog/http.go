@@ -94,6 +94,9 @@ type SlowLogAllResponse struct {
 //	GET  /admin/catalog/route   ?tenant=T&key=K: the collection owning document key K
 //	GET  /metrics               merged Prometheus rendering: catalog series plus every shard's, labeled tenant/collection
 //	GET  /debug/slowlog/all     all shards' slow queries, annotated, most recent first (?limit=N)
+//	GET  /debug/traces          merged trace trees: the catalog's plus every shard's, tenant/collection-labeled
+//	GET  /debug/slo             every shard's SLO report, tenant/collection-labeled
+//	GET  /readyz                503 before the first shard attaches and while shutting down; 200 otherwise
 //	GET  /healthz, /buildinfo   served directly
 //
 // Every other service endpoint (/stats, /synopsis, /feedback,
@@ -102,6 +105,13 @@ type SlowLogAllResponse struct {
 // ?tenant=T&collection=C query parameters; without them the default
 // shard answers, so a converted single-tenant deployment's clients and
 // scripts keep working unchanged.
+//
+// The handler is wrapped in the request-correlation middleware: every
+// response carries X-Request-ID (honored from the request or
+// generated), and a completed trace tree per request lands in the
+// catalog's trace store. Delegated shard handlers see the catalog's
+// root span in their context, so they attach child spans instead of
+// opening a second root.
 func (c *Catalog) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", c.handleEstimate)
@@ -111,6 +121,9 @@ func (c *Catalog) Handler() http.Handler {
 	mux.HandleFunc("GET /admin/catalog/route", c.handleRoute)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog/all", c.handleSlowLogAll)
+	mux.HandleFunc("GET /debug/traces", c.handleTraces)
+	mux.HandleFunc("GET /debug/slo", c.handleSLO)
+	mux.HandleFunc("GET /readyz", c.handleReady)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -130,7 +143,81 @@ func (c *Catalog) Handler() http.Handler {
 	} {
 		mux.HandleFunc(ep, c.delegate)
 	}
-	return mux
+	return obs.TraceHandler(c.traces, mux)
+}
+
+// handleReady answers the readiness probe: 503 while shutting down and
+// before the first shard — the first live synopsis generation — is
+// attached, so load balancers neither route to an empty catalog nor to
+// one that is draining.
+func (c *Catalog) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reason := c.Ready()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleTraces merges the catalog's own trace families with every
+// shard's. Shard families are prefixed "tenant/collection:" and their
+// root spans labeled, so one listing covers both front-end request
+// trees (whose shard children are labeled already) and traces recorded
+// by shards driven directly (tests, embedded use).
+func (c *Catalog) handleTraces(w http.ResponseWriter, r *http.Request) {
+	families := c.traces.Snapshot()
+	if families == nil {
+		families = []obs.FamilySnapshot{}
+	}
+	for _, sh := range c.allShards() {
+		for _, f := range sh.svc.Traces().Snapshot() {
+			f.Family = sh.key.String() + ":" + f.Family
+			labelSpans(f.Recent, sh.key)
+			labelSpans(f.Slowest, sh.key)
+			families = append(families, f)
+		}
+	}
+	service.WriteJSON(w, http.StatusOK, service.TracesResponse{Families: families})
+}
+
+// labelSpans fills the shard identity into root spans that lack one.
+func labelSpans(spans []obs.SpanSnapshot, k Key) {
+	for i := range spans {
+		if spans[i].Tenant == "" {
+			spans[i].Tenant = k.Tenant
+		}
+		if spans[i].Collection == "" {
+			spans[i].Collection = k.Collection
+		}
+	}
+}
+
+// ShardSLO is one shard's SLO report in the catalog's GET /debug/slo.
+type ShardSLO struct {
+	Tenant     string `json:"tenant"`
+	Collection string `json:"collection"`
+	obs.SLOReport
+}
+
+// SLOAllResponse is the body of the catalog's GET /debug/slo: every
+// shard's report, including disabled ones (Enabled false), so operators
+// see at a glance which tenants lack objectives.
+type SLOAllResponse struct {
+	Shards []ShardSLO `json:"shards"`
+}
+
+func (c *Catalog) handleSLO(w http.ResponseWriter, r *http.Request) {
+	resp := SLOAllResponse{Shards: []ShardSLO{}}
+	for _, sh := range c.allShards() {
+		resp.Shards = append(resp.Shards, ShardSLO{
+			Tenant:     sh.key.Tenant,
+			Collection: sh.key.Collection,
+			SLOReport:  sh.svc.SLO().Report(),
+		})
+	}
+	service.WriteJSON(w, http.StatusOK, resp)
 }
 
 // shardForRequest resolves the shard a delegated request addresses from
@@ -165,15 +252,15 @@ func (c *Catalog) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		service.WriteErrorMsg(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "no queries"})
+		service.WriteErrorMsg(w, http.StatusBadRequest, "no queries")
 		return
 	}
 	if req.Tenant == "" && req.Collection != "" {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "collection requires tenant"})
+		service.WriteErrorMsg(w, http.StatusBadRequest, "collection requires tenant")
 		return
 	}
 
@@ -198,6 +285,9 @@ func (c *Catalog) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		service.WriteError(w, err)
 		return
 	}
+	if sp := obs.SpanFrom(r.Context()); sp != nil {
+		sp.SetShard(sh.key.Tenant, sh.key.Collection)
+	}
 	resp, err := sh.svc.RunEstimateRequest(r.Context(), req.EstimateRequest)
 	if err != nil {
 		service.WriteError(w, err)
@@ -209,10 +299,13 @@ func (c *Catalog) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // scatterEstimateHTTP answers a scatter-gather estimate over HTTP.
 func (c *Catalog) scatterEstimateHTTP(w http.ResponseWriter, r *http.Request, req EstimateRequest) {
 	if req.Explain || req.Plan || req.Trace {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{
-			"error": "explain/plan/trace are per-shard features; address a collection to use them",
-		})
+		service.WriteErrorMsg(w, http.StatusBadRequest,
+			"explain/plan/trace are per-shard features; address a collection to use them")
 		return
+	}
+	if sp := obs.SpanFrom(r.Context()); sp != nil {
+		sp.SetShard(req.Tenant, "")
+		sp.SetDetail(fmt.Sprintf("scatter %d queries", len(req.Queries)))
 	}
 	results := make([]ScatterQueryResult, len(req.Queries))
 	var qs []*query.Query
@@ -262,16 +355,16 @@ func (c *Catalog) handleAttach(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		service.WriteErrorMsg(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if err := spec.validate(); err != nil {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		service.WriteErrorMsg(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	sh, err := c.Attach(r.Context(), spec)
 	if err != nil {
-		service.WriteJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		service.WriteErrorMsg(w, http.StatusConflict, err.Error())
 		return
 	}
 	service.WriteJSON(w, http.StatusCreated, AttachResponse{
@@ -286,7 +379,7 @@ func (c *Catalog) handleDetach(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		service.WriteErrorMsg(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if err := c.Detach(r.Context(), req.Tenant, req.Collection); err != nil {
@@ -304,7 +397,7 @@ func (c *Catalog) handleRoute(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	tenant, key := q.Get("tenant"), q.Get("key")
 	if tenant == "" || key == "" {
-		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "route needs ?tenant=T&key=K"})
+		service.WriteErrorMsg(w, http.StatusBadRequest, "route needs ?tenant=T&key=K")
 		return
 	}
 	k, err := c.RouteDocument(tenant, key)
@@ -332,6 +425,16 @@ func (c *Catalog) shardLabels(sh *Shard) string {
 func (c *Catalog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	shards := c.allShards()
 	parts := make([]obs.Labeled, 0, len(shards)+1)
+	// Runtime series are process-global, so they are sampled into the
+	// catalog's own (unlabeled) registry only — never per shard — and
+	// only at scrape time. The allocs-per-op denominator sums every
+	// shard's request count: allocations are process-wide too.
+	var ops uint64
+	for _, sh := range shards {
+		ops += sh.svc.RequestsTotal()
+	}
+	c.runtime.Sample(c.reg)
+	c.runtime.SampleAllocsPerOp(c.reg, ops)
 	parts = append(parts, obs.Labeled{R: c.reg})
 	for _, sh := range shards {
 		sh.svc.SyncMetrics()
@@ -347,9 +450,8 @@ func (c *Catalog) handleSlowLogAll(w http.ResponseWriter, r *http.Request) {
 	if limitRaw != "" {
 		n, err := strconv.Atoi(limitRaw)
 		if err != nil || n < 0 {
-			service.WriteJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("bad limit %q: want a non-negative integer", limitRaw),
-			})
+			service.WriteErrorMsg(w, http.StatusBadRequest,
+				fmt.Sprintf("bad limit %q: want a non-negative integer", limitRaw))
 			return
 		}
 		limit, capped = n, true

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"xcluster/internal/obs"
 )
 
 // nameMaxLen bounds tenant and collection names.
@@ -62,6 +64,16 @@ type ShardSpec struct {
 	// RebuildOnDrift triggers a background rebuild of this shard when
 	// its accuracy monitor flags drift (requires Document).
 	RebuildOnDrift bool `json:"rebuild_on_drift,omitempty"`
+	// SLOAvailability and SLOLatencyMS declare the shard's service-level
+	// objectives: a target success fraction in (0,1) (e.g. 0.999) and a
+	// latency objective in milliseconds. SLOLatencyTarget is the fraction
+	// of requests that must beat the latency objective (default 0.99
+	// when a latency objective is set). Either objective alone enables
+	// tracking; both zero leaves the shard's SLO disabled unless the
+	// daemon supplies server-wide defaults (the manifest wins).
+	SLOAvailability  float64 `json:"slo_availability,omitempty"`
+	SLOLatencyMS     float64 `json:"slo_latency_ms,omitempty"`
+	SLOLatencyTarget float64 `json:"slo_latency_target,omitempty"`
 }
 
 // Key returns the shard's catalog key.
@@ -70,6 +82,16 @@ func (sp ShardSpec) Key() Key { return Key{Tenant: sp.Tenant, Collection: sp.Col
 // ShadowDeadline returns the shadow deadline as a duration (0: default).
 func (sp ShardSpec) ShadowDeadline() time.Duration {
 	return time.Duration(sp.ShadowDeadlineMS) * time.Millisecond
+}
+
+// SLO returns the spec's objectives as an obs.SLOConfig (zero-valued,
+// i.e. disabled, when the spec declares none).
+func (sp ShardSpec) SLO() obs.SLOConfig {
+	return obs.SLOConfig{
+		Availability:     sp.SLOAvailability,
+		LatencyObjective: time.Duration(sp.SLOLatencyMS * float64(time.Millisecond)),
+		LatencyTarget:    sp.SLOLatencyTarget,
+	}
 }
 
 // validate rejects a malformed spec with an error naming the field.
@@ -100,6 +122,12 @@ func (sp ShardSpec) validate() error {
 	}
 	if sp.RebuildOnDrift && sp.Document == "" {
 		return fmt.Errorf("catalog: shard %s/%s: rebuild_on_drift requires document", sp.Tenant, sp.Collection)
+	}
+	if sp.SLOLatencyMS < 0 {
+		return fmt.Errorf("catalog: shard %s/%s: negative slo_latency_ms", sp.Tenant, sp.Collection)
+	}
+	if err := sp.SLO().Validate(); err != nil {
+		return fmt.Errorf("catalog: shard %s/%s: %w", sp.Tenant, sp.Collection, err)
 	}
 	return nil
 }

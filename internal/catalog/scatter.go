@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"xcluster/internal/obs"
 	"xcluster/internal/query"
 	"xcluster/internal/service"
 )
@@ -94,7 +95,22 @@ func (c *Catalog) ScatterEstimate(ctx context.Context, tenant string, qs []*quer
 					answers <- answer{idx: idx, err: service.ErrShardDraining}
 					continue
 				}
-				sels, err := sh.estimateBatch(ctx, qs)
+				// One child span per shard under the request's root, carrying
+				// the same request ID; the shard's pipeline attaches its
+				// per-estimate spans beneath it. Stragglers finishing after
+				// the gather gave up still record safely — spans lock
+				// per-node, and the trace store snapshots deep copies.
+				sctx := ctx
+				var child *obs.Span
+				if sp := obs.SpanFrom(ctx); sp != nil {
+					child = sp.StartChild("shard")
+					child.SetShard(sh.key.Tenant, sh.key.Collection)
+					sctx = obs.WithSpan(ctx, child)
+				}
+				sels, err := sh.estimateBatch(sctx, qs)
+				if child != nil {
+					child.FinishErr(err)
+				}
 				answers <- answer{idx: idx, sels: sels, err: err}
 			}
 		}()

@@ -19,9 +19,13 @@ const (
 	StageExecute      = "execute"
 )
 
-// Span is one timed pipeline stage of a single estimate.
+// Span is one timed pipeline stage of a single estimate. Offset is the
+// stage's start relative to the start of the estimate, so a span tree
+// built from the trace (the request-correlation layer in internal/obs)
+// can place stages on an absolute timeline.
 type Span struct {
 	Stage    string
+	Offset   time.Duration
 	Duration time.Duration
 }
 
@@ -60,9 +64,9 @@ type EstimateTrace struct {
 	PlanGeneration uint64
 }
 
-// add appends one stage timing.
-func (t *EstimateTrace) add(stage string, d time.Duration) {
-	t.Spans = append(t.Spans, Span{Stage: stage, Duration: d})
+// add appends one stage timing at the given offset from estimate start.
+func (t *EstimateTrace) add(stage string, off, d time.Duration) {
+	t.Spans = append(t.Spans, Span{Stage: stage, Offset: off, Duration: d})
 }
 
 // SpanSum returns the summed stage durations (at most Total).
@@ -88,12 +92,12 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 	canonical := q.String()
 	tr.Canonical = canonical
 	key := e.saltKey(canonical)
-	tr.add(StageCanonicalize, time.Since(t0))
+	tr.add(StageCanonicalize, 0, time.Since(t0))
 
 	if e.cache != nil {
 		ts := time.Now()
 		v, ok := e.cache.get(key)
-		tr.add(StageResultCache, time.Since(ts))
+		tr.add(StageResultCache, ts.Sub(t0), time.Since(ts))
 		if ok {
 			tr.ResultCacheHit = true
 			tr.Estimate = v
@@ -107,7 +111,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 	if e.plans != nil {
 		ts := time.Now()
 		p, ok := e.plans.get(key)
-		tr.add(StagePlanCache, time.Since(ts))
+		tr.add(StagePlanCache, ts.Sub(t0), time.Since(ts))
 		if ok {
 			plan = p
 			tr.PlanCacheHit = true
@@ -116,7 +120,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 	if plan == nil {
 		ts := time.Now()
 		p, err := e.compile(q)
-		tr.add(StageCompile, time.Since(ts))
+		tr.add(StageCompile, ts.Sub(t0), time.Since(ts))
 		if err != nil {
 			tr.Total = time.Since(t0)
 			e.emit(tr)
@@ -132,7 +136,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 
 	ts := time.Now()
 	total, err := plan.executeContext(ctx)
-	tr.add(StageExecute, time.Since(ts))
+	tr.add(StageExecute, ts.Sub(t0), time.Since(ts))
 	if err != nil {
 		tr.Total = time.Since(t0)
 		e.emit(tr)

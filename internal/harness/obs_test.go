@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestObsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short")
+	}
+	cfg := smallCfg()
+	d, err := NewDataset("IMDB", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Few iterations: the test checks the experiment's shape and answer
+	// parity, not the timing precision the benchmark target needs.
+	row, err := ObsExperiment(d, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Dataset != "IMDB" || row.Queries == 0 || row.Iters != 50 || row.Rounds < 1 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Mismatches != 0 {
+		t.Fatalf("instrumented service disagreed with baseline on %d answers", row.Mismatches)
+	}
+	for name, v := range map[string]float64{
+		"base ns/op": row.BaseNsPerOp,
+		"off ns/op":  row.OffNsPerOp,
+		"on ns/op":   row.OnNsPerOp,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %g, want > 0", name, v)
+		}
+	}
+	// Tracing-on pays for span assembly and recording; it must allocate
+	// at least as much as the sampled-out path.
+	if row.OnAllocsPerOp < row.OffAllocsPerOp {
+		t.Fatalf("on allocs/op %g < off allocs/op %g", row.OnAllocsPerOp, row.OffAllocsPerOp)
+	}
+
+	rows := []ObsRow{row}
+	var decoded []ObsRow
+	if err := json.Unmarshal([]byte(FormatObsJSON(rows)), &decoded); err != nil {
+		t.Fatalf("FormatObsJSON not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Dataset != "IMDB" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	text := FormatObs(rows)
+	for _, want := range []string{"IMDB", "Off ns/op", "On ns/op"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("FormatObs missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// skeleton strips sample values from a Prometheus rendering, keeping
+// comment lines and series references: the deterministic shape of a
+// scrape whose values move with the runtime.
+func skeleton(render string) []string {
+	var out []string
+	for _, line := range strings.Split(strings.TrimSuffix(render, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			out = append(out, line)
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			out = append(out, line[:i])
+		}
+	}
+	return out
+}
+
+// TestRuntimeSampleGolden pins the shape of the xcluster_go_* scrape:
+// series names, label sets, and ordering are exact; values (which move
+// with the live runtime) are stripped, so the test cannot flake.
+func TestRuntimeSampleGolden(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	runtime.GC() // ensure the pause histogram is populated
+	rs.Sample(reg)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := skeleton(sb.String())
+	want := []string{
+		"# HELP xcluster_go_gc_cycles_total Completed GC cycles.",
+		"# TYPE xcluster_go_gc_cycles_total counter",
+		"xcluster_go_gc_cycles_total",
+		"# HELP xcluster_go_gc_heap_goal_bytes Heap size target of the next GC cycle.",
+		"# TYPE xcluster_go_gc_heap_goal_bytes gauge",
+		"xcluster_go_gc_heap_goal_bytes",
+		"# HELP xcluster_go_gc_pause_seconds Distribution of stop-the-world GC pause latencies (quantile gauges sampled at scrape time).",
+		"# TYPE xcluster_go_gc_pause_seconds gauge",
+		`xcluster_go_gc_pause_seconds{quantile="0.5"}`,
+		`xcluster_go_gc_pause_seconds{quantile="0.9"}`,
+		`xcluster_go_gc_pause_seconds{quantile="0.99"}`,
+		"# HELP xcluster_go_gomaxprocs GOMAXPROCS.",
+		"# TYPE xcluster_go_gomaxprocs gauge",
+		"xcluster_go_gomaxprocs",
+		"# HELP xcluster_go_goroutines Live goroutines.",
+		"# TYPE xcluster_go_goroutines gauge",
+		"xcluster_go_goroutines",
+		"# HELP xcluster_go_heap_alloc_bytes_total Heap bytes allocated since process start.",
+		"# TYPE xcluster_go_heap_alloc_bytes_total counter",
+		"xcluster_go_heap_alloc_bytes_total",
+		"# HELP xcluster_go_heap_allocs_total Heap objects allocated since process start.",
+		"# TYPE xcluster_go_heap_allocs_total counter",
+		"xcluster_go_heap_allocs_total",
+		"# HELP xcluster_go_heap_objects_bytes Bytes occupied by live and dead heap objects.",
+		"# TYPE xcluster_go_heap_objects_bytes gauge",
+		"xcluster_go_heap_objects_bytes",
+		"# HELP xcluster_go_memory_total_bytes Total memory mapped by the Go runtime.",
+		"# TYPE xcluster_go_memory_total_bytes gauge",
+		"xcluster_go_memory_total_bytes",
+		"# HELP xcluster_go_sched_latency_seconds Distribution of goroutine scheduling latencies (quantile gauges sampled at scrape time).",
+		"# TYPE xcluster_go_sched_latency_seconds gauge",
+		`xcluster_go_sched_latency_seconds{quantile="0.5"}`,
+		`xcluster_go_sched_latency_seconds{quantile="0.9"}`,
+		`xcluster_go_sched_latency_seconds{quantile="0.99"}`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scrape skeleton has %d lines, want %d\n--- got ---\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("skeleton line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// A second sample must keep the exact same shape.
+	rs.Sample(reg)
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got2 := skeleton(sb.String())
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("second-sample skeleton line %d = %q, want %q", i, got2[i], want[i])
+		}
+	}
+}
+
+// TestRuntimeCounterMonotonic checks the delta mirroring: counters only
+// grow across samples (Prometheus counters must never be Set backward).
+func TestRuntimeCounterMonotonic(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	rs.Sample(reg)
+	first := reg.Counter("xcluster_go_heap_allocs_total", "").Value()
+	if first == 0 {
+		t.Fatal("first sample mirrored 0 heap allocations")
+	}
+	// Allocate and resample: the counter must advance by the delta, not
+	// restart from the absolute reading.
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 16))
+	}
+	_ = sink
+	runtime.GC() // flush per-P allocation stat caches
+	rs.Sample(reg)
+	second := reg.Counter("xcluster_go_heap_allocs_total", "").Value()
+	if second <= first {
+		t.Fatalf("counter did not advance: %d then %d", first, second)
+	}
+}
+
+func TestHeapAllocObjects(t *testing.T) {
+	a := HeapAllocObjects()
+	if a == 0 {
+		t.Fatal("HeapAllocObjects() = 0")
+	}
+	sink := make([][]byte, 0, 100)
+	for i := 0; i < 100; i++ {
+		sink = append(sink, make([]byte, 8))
+	}
+	_ = sink
+	runtime.GC() // flush per-P allocation stat caches
+	if b := HeapAllocObjects(); b <= a {
+		t.Fatalf("allocation counter did not advance: %d then %d", a, b)
+	}
+}
+
+func TestSampleAllocsPerOp(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	g := reg.Gauge("xcluster_go_estimate_allocs_per_op", "")
+
+	rs.SampleAllocsPerOp(reg, 0)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("first scrape allocs/op = %v, want 0 (no baseline yet)", got)
+	}
+	sink := make([][]byte, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		sink = append(sink, make([]byte, 8))
+	}
+	_ = sink
+	runtime.GC() // flush per-P allocation stat caches
+	rs.SampleAllocsPerOp(reg, 100)
+	if got := g.Value(); got <= 0 {
+		t.Fatalf("allocs/op after 100 ops = %v, want > 0", got)
+	}
+	// Ops not advancing (no traffic between scrapes) reads as 0, not a
+	// division blow-up.
+	rs.SampleAllocsPerOp(reg, 100)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("allocs/op with no new ops = %v, want 0", got)
+	}
+}

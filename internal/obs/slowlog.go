@@ -24,8 +24,12 @@ type SlowLogEntry struct {
 	// Tenant and Collection identify the shard that served the query in
 	// a multi-tenant catalog; both stay empty (and absent from the JSON)
 	// in single-tenant deployments, whose log shape is unchanged.
-	Tenant     string        `json:"tenant,omitempty"`
-	Collection string        `json:"collection,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
+	Collection string `json:"collection,omitempty"`
+	// RequestID correlates the entry with the request's trace tree
+	// (GET /debug/traces) and the daemon's log lines; empty for work
+	// that arrived outside the HTTP layer.
+	RequestID  string        `json:"request_id,omitempty"`
 	Query      string        `json:"query"`
 	Plan       string        `json:"plan,omitempty"`
 	Estimate   float64       `json:"estimate"`

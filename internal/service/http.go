@@ -71,6 +71,14 @@ func WriteError(w http.ResponseWriter, err error) {
 	httpError(w, ErrorStatus(err), err.Error())
 }
 
+// WriteErrorMsg writes an error envelope with an explicit status. Like
+// WriteError it echoes the request ID set by the correlation middleware
+// into the body, so front-ends (the catalog) get correlated error
+// envelopes without threading IDs through their call sites.
+func WriteErrorMsg(w http.ResponseWriter, status int, msg string) {
+	httpError(w, status, msg)
+}
+
 // WriteJSON writes v as an indented JSON response body with the given
 // status, the rendering every endpoint of the service (and the catalog
 // front-end) uses.
@@ -93,9 +101,13 @@ type EstimateRequest struct {
 }
 
 // TraceSpan is one timed pipeline stage of an answered query.
+// OffsetNanos places the stage's start relative to the start of the
+// estimate (omitted when zero; the parse span runs before the
+// estimate's timeline starts).
 type TraceSpan struct {
-	Stage string `json:"stage"`
-	Nanos int64  `json:"nanos"`
+	Stage       string `json:"stage"`
+	OffsetNanos int64  `json:"offset_nanos,omitempty"`
+	Nanos       int64  `json:"nanos"`
 }
 
 // TraceInfo is the inline pipeline trace of one answered query. The
@@ -312,6 +324,14 @@ const explainLimit = 5
 //	GET  /buildinfo       module version, VCS revision, Go version
 //	GET  /synopsis        size and composition of the served synopsis
 //	GET  /healthz         liveness probe
+//	GET  /readyz          readiness probe (503 while draining)
+//	GET  /debug/traces    retained request trace trees per family
+//	GET  /debug/slo       availability/latency error-budget burn rates
+//
+// Every request is wrapped in request correlation: a well-formed client
+// X-Request-ID is honored (one is generated otherwise), echoed on the
+// response and in error envelopes, and threaded through the context to
+// pipeline spans, the slow-query log, and the trace store.
 //
 // Per-query failures (parse errors, unknown labels) are reported inline in
 // the results array; whole-request failures (malformed JSON, deadline
@@ -325,6 +345,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	mux.HandleFunc("GET /debug/accuracy", s.handleAccuracy)
 	mux.HandleFunc("GET /debug/synopsis", s.handleSynopsisDebug)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
@@ -333,7 +355,42 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	return obs.TraceHandler(s.traces, mux)
+}
+
+// handleReady implements GET /readyz: 200 while the service should
+// receive traffic, 503 once draining starts. Distinct from /healthz,
+// which stays 200 through a graceful shutdown (the process is alive).
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// TracesResponse is the body of GET /debug/traces.
+type TracesResponse struct {
+	Families []obs.FamilySnapshot `json:"families"`
+}
+
+// handleTraces implements GET /debug/traces: the retained request trace
+// trees, grouped by family, most recent and slowest first.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	fams := s.traces.Snapshot()
+	if fams == nil {
+		fams = []obs.FamilySnapshot{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Families: fams})
+}
+
+// handleSLO implements GET /debug/slo: the configured objectives and
+// multi-window burn rates ({"enabled":false} when none are configured).
+func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -428,7 +485,11 @@ func renderTrace(parse time.Duration, tr *core.EstimateTrace) *TraceInfo {
 	}
 	ti.Spans = append(ti.Spans, TraceSpan{Stage: core.StageParse, Nanos: parse.Nanoseconds()})
 	for _, sp := range tr.Spans {
-		ti.Spans = append(ti.Spans, TraceSpan{Stage: sp.Stage, Nanos: sp.Duration.Nanoseconds()})
+		ti.Spans = append(ti.Spans, TraceSpan{
+			Stage:       sp.Stage,
+			OffsetNanos: sp.Offset.Nanoseconds(),
+			Nanos:       sp.Duration.Nanoseconds(),
+		})
 	}
 	return ti
 }
@@ -459,6 +520,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.syncRegistry()
+	// Runtime telemetry is process-global and sampled only at scrape
+	// time; the hot path never touches runtime/metrics. The allocs/op
+	// gauge divides the process allocation delta by the served delta
+	// between scrapes.
+	s.runtime.Sample(s.reg)
+	s.runtime.SampleAllocsPerOp(s.reg, s.served.Value()+s.failed.Value())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w) //nolint:errcheck // headers are out; nothing to do
 }
@@ -715,5 +782,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	body := map[string]string{"error": msg}
+	// The correlation middleware sets the response header before the
+	// handler runs, so error envelopes can echo the request ID without
+	// threading it through every call site. (encoding/json renders map
+	// keys sorted, so the body stays deterministic.)
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }

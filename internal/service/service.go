@@ -124,6 +124,23 @@ func WithAccuracy(opts ...accuracy.MonitorOption) Option {
 	return func(s *Service) { s.monOpts = append(s.monOpts, opts...) }
 }
 
+// WithSLO configures the service's availability/latency objectives.
+// Every traced estimate's outcome feeds multi-window (5m/1h)
+// error-budget burn rates, reported at GET /debug/slo and as
+// xcluster_slo_* gauges. The zero config (the default) disables
+// tracking at zero hot-path cost.
+func WithSLO(cfg obs.SLOConfig) Option {
+	return func(s *Service) { s.sloCfg = cfg }
+}
+
+// WithTraceStore overrides the request trace store. The default is a
+// fresh store with the obs package's default retention; nil disables
+// request tracing entirely (requests still get correlated IDs, but no
+// span trees are built or retained).
+func WithTraceStore(ts *obs.TraceStore) Option {
+	return func(s *Service) { s.traces, s.tracesSet = ts, true }
+}
+
 // Service is a concurrent estimation service over an immutable synopsis
 // generation. All methods are safe for concurrent use.
 //
@@ -167,6 +184,18 @@ type Service struct {
 	// slow is the optional slow-query ring (nil when disabled).
 	reg  *obs.Registry
 	slow *obs.SlowLog
+
+	// Request-correlation and SLO state: traces retains completed span
+	// trees for GET /debug/traces (nil: tracing disabled), slo tracks
+	// error-budget burn rates (nil: no objectives configured), runtime
+	// samples runtime/metrics into the registry at scrape time, and
+	// draining flips GET /readyz to 503 once Drain starts.
+	traces    *obs.TraceStore
+	tracesSet bool
+	slo       *obs.SLOTracker
+	sloCfg    obs.SLOConfig
+	runtime   *obs.RuntimeSampler
+	draining  atomic.Bool
 
 	// Accuracy monitoring: mon aggregates estimate/truth pairs (always
 	// on — POST /feedback feeds it even without shadow sampling);
@@ -214,6 +243,11 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
 	}
+	if !s.tracesSet {
+		s.traces = obs.NewTraceStore(0, 0)
+	}
+	s.slo = obs.NewSLOTracker(s.sloCfg)
+	s.runtime = obs.NewRuntimeSampler()
 	s.wireMetrics()
 	// Install the initial generation. The artifact keeps whatever
 	// generation its fingerprint carries (0 for fresh builds and legacy
@@ -338,6 +372,7 @@ func (s *Service) syncRegistry() {
 		r.Counter("xcluster_shadow_dropped_total", `reason="deadline"`).Store(st.DeadlineDrops)
 		r.Counter("xcluster_shadow_dropped_total", `reason="error"`).Store(st.ErrorDrops)
 	}
+	s.slo.Sync(r)
 }
 
 // SyncMetrics mirrors scrape-time state (cache counters and occupancy,
@@ -346,6 +381,22 @@ func (s *Service) syncRegistry() {
 // multi-tenant catalog front-end calls it for each shard before a
 // merged render.
 func (s *Service) SyncMetrics() { s.syncRegistry() }
+
+// Ready reports whether the service should receive traffic: true until
+// Drain starts. GET /readyz renders it; /healthz stays a pure liveness
+// probe.
+func (s *Service) Ready() bool { return !s.draining.Load() }
+
+// Traces returns the request trace store (nil when disabled).
+func (s *Service) Traces() *obs.TraceStore { return s.traces }
+
+// SLO returns the SLO tracker (nil when no objectives are configured).
+func (s *Service) SLO() *obs.SLOTracker { return s.slo }
+
+// RequestsTotal returns the number of estimates ever answered (served
+// plus failed) — the ops denominator front-ends use for allocs-per-op
+// sampling.
+func (s *Service) RequestsTotal() uint64 { return s.served.Value() + s.failed.Value() }
 
 // Synopsis returns the currently served synopsis generation.
 func (s *Service) Synopsis() *core.Synopsis { return s.cur.Load().syn }
@@ -399,14 +450,25 @@ func (s *Service) estimateOne(ctx context.Context, sl *slot, q *query.Query) (fl
 	defer s.inflight.Add(-1)
 	t0 := time.Now()
 	v, tr, err := sl.est.SelectivityTraced(ctx, q)
+	d := time.Since(t0)
+	// One context lookup is the whole per-estimate tracing cost when the
+	// request carries no span (untraced callers, or tracing disabled).
+	sp := obs.SpanFrom(ctx)
 	if err != nil {
 		s.failed.Inc()
+		s.slo.ObserveAt(t0, d, true)
+		if sp != nil {
+			sp.AddChild(estimateSpan(t0, d, tr, err))
+		}
 		return 0, tr, err
 	}
-	d := time.Since(t0)
 	s.reqHist.Observe(d.Seconds())
 	s.served.Inc()
-	s.recordSlow(sl, q, tr, v, d)
+	s.slo.ObserveAt(t0, d, false)
+	if sp != nil {
+		sp.AddChild(estimateSpan(t0, d, tr, nil))
+	}
+	s.recordSlow(ctx, sl, q, tr, v, d)
 	if s.shadow != nil {
 		// Pair the trace's estimate with exact ground truth off the
 		// serving path; Offer never blocks.
@@ -415,11 +477,27 @@ func (s *Service) estimateOne(ctx context.Context, sl *slot, q *query.Query) (fl
 	return v, tr, nil
 }
 
+// estimateSpan renders one completed estimate (and its pipeline-stage
+// timings) as a span subtree for the request's trace.
+func estimateSpan(start time.Time, d time.Duration, tr *core.EstimateTrace, err error) *obs.Span {
+	sp := obs.CompletedSpan("estimate", start, d)
+	if tr != nil {
+		sp.SetDetail(tr.Canonical)
+		for _, st := range tr.Spans {
+			sp.AddChild(obs.CompletedSpan(st.Stage, start.Add(st.Offset), st.Duration))
+		}
+	}
+	if err != nil {
+		sp.FinishErr(err)
+	}
+	return sp
+}
+
 // recordSlow captures one answered estimate in the slow-query log when
 // its latency reaches the threshold. The plan summary is resolved
 // through the plan cache, so the extra cost is paid only by queries
 // already slow enough to log.
-func (s *Service) recordSlow(sl *slot, q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
+func (s *Service) recordSlow(ctx context.Context, sl *slot, q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
 	if s.slow == nil || d < s.slow.Threshold() {
 		return
 	}
@@ -433,6 +511,7 @@ func (s *Service) recordSlow(sl *slot, q *query.Query, tr *core.EstimateTrace, v
 	}
 	if s.slow.Record(obs.SlowLogEntry{
 		Time:       time.Now(),
+		RequestID:  obs.RequestIDFrom(ctx),
 		Query:      tr.Canonical,
 		Plan:       planSummary,
 		Estimate:   v,
@@ -559,6 +638,10 @@ func (s *Service) prepareShapes(sl *slot, qs []*query.Query) error {
 // work submitted concurrently with Drain is not guaranteed to be
 // waited for.
 func (s *Service) Drain(ctx context.Context) error {
+	// Readiness flips before the wait starts: GET /readyz reports 503
+	// from here on, so load balancers stop routing while in-flight work
+	// finishes.
+	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
 		s.inflightWG.Wait()
