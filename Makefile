@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench bench-json bench-build bench-catalog bench-obs
+.PHONY: check build test bench bench-json bench-build bench-catalog bench-obs bench-workload
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -47,3 +47,11 @@ bench-catalog:
 bench-obs:
 	$(GO) run ./cmd/xclusterbench -experiment obs > BENCH_obs.json
 	@echo "wrote BENCH_obs.json"
+
+# Machine-readable workload-profiler benchmark: profiling-off vs
+# profiling-on ns/op on the prepared serving hot path (the overhead
+# must stay under 10%) plus the WorkloadProfile export round-trip
+# check, as JSON at the repo root.
+bench-workload:
+	$(GO) run ./cmd/xclusterbench -experiment workload > BENCH_workload.json
+	@echo "wrote BENCH_workload.json"

@@ -32,8 +32,11 @@ go test ./...
 
 # The fuzz targets' seed corpora are regression tests: run them as
 # ordinary tests (no fuzzing engine, just the f.Add seeds + testdata).
-# Includes internal/catalog FuzzParseManifest: the -catalog manifest
-# parser never panics and everything it accepts round-trips.
+# Includes internal/catalog FuzzParseManifest (the -catalog manifest
+# parser never panics and everything it accepts round-trips) and
+# internal/profile FuzzParseProfile (the WorkloadProfile artifact
+# parser never panics and anything accepted is a round-trip fixed
+# point).
 go test -run=Fuzz ./...
 
 # Machine-readable benchmark artifacts, kept at the repo root for
@@ -41,9 +44,12 @@ go test -run=Fuzz ./...
 # (performance + per-class accuracy), the build experiment (serial vs
 # parallel vs memoized construction), the catalog experiment
 # (scatter-gather vs single-shard estimation across a sharded corpus),
-# and the observability experiment (tracing-off vs tracing-on overhead
-# on the serving hot path).
+# the observability experiment (tracing-off vs tracing-on overhead on
+# the serving hot path), and the workload-profiler experiment
+# (profiling-off vs profiling-on overhead plus the artifact round
+# trip).
 make bench-json
 make bench-build
 make bench-catalog
 make bench-obs
+make bench-workload

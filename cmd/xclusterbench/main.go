@@ -13,6 +13,7 @@
 //	xclusterbench -experiment build     # serial vs parallel vs memoized construction (JSON)
 //	xclusterbench -experiment catalog   # scatter-gather throughput across a sharded corpus (JSON)
 //	xclusterbench -experiment obs       # observability overhead on the serving hot path (JSON)
+//	xclusterbench -experiment workload  # workload-profiler overhead and export round trip (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -34,7 +35,7 @@ import (
 
 // validExperiments lists the -experiment selector's legal values; an
 // unknown name is a hard error naming them, not a silent no-op.
-var validExperiments = []string{"negative", "ablations", "autobudget", "throughput", "prepared", "build", "catalog", "obs"}
+var validExperiments = []string{"negative", "ablations", "autobudget", "throughput", "prepared", "build", "catalog", "obs", "workload"}
 
 var (
 	validTables  = []string{"1", "2"}
@@ -206,6 +207,16 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, harness.FormatObs(rows))
 		fmt.Println(harness.FormatObsJSON(rows))
+	}
+	if *experiment == "workload" { // opt-in: wall-clock sensitive
+		var rows []harness.WorkloadProfRow
+		for _, name := range harness.DatasetNames() {
+			r, err := harness.WorkloadProfExperiment(load(name), cfg, 0)
+			check(err)
+			rows = append(rows, r)
+		}
+		fmt.Fprintln(os.Stderr, harness.FormatWorkloadProf(rows))
+		fmt.Println(harness.FormatWorkloadProfJSON(rows))
 	}
 	if *experiment == "catalog" { // opt-in: wall-clock sensitive
 		var rows []harness.CatalogRow

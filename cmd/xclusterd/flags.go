@@ -30,6 +30,8 @@ type config struct {
 	bval           int
 	rebuildOnDrift bool
 	buildWorkers   int
+	workloadCap    int
+	workloadWindow time.Duration
 
 	// Server-wide SLO defaults; manifest shard entries override them.
 	sloAvailability  float64
@@ -68,6 +70,8 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	fs.IntVar(&c.bval, "bval", 0, "value-summary byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.BoolVar(&c.rebuildOnDrift, "rebuild-on-drift", false, "trigger a background rebuild when accuracy drift is detected (requires -doc)")
 	fs.IntVar(&c.buildWorkers, "build-workers", 0, "merge-candidate evaluation goroutines for /admin/rebuild (default GOMAXPROCS; never changes the built synopsis)")
+	fs.IntVar(&c.workloadCap, "workload-cap", 0, "workload profiler shape-table capacity per shard (default 256, negative disables profiling)")
+	fs.DurationVar(&c.workloadWindow, "workload-window", 0, "workload profiler rate window (default 1m)")
 	fs.Float64Var(&c.sloAvailability, "slo-availability", 0, "availability objective in (0,1), e.g. 0.999 (0 disables; manifest shard entries override)")
 	fs.DurationVar(&c.sloLatency, "slo-latency", 0, "latency objective per estimate, e.g. 50ms (0 disables; manifest shard entries override)")
 	fs.Float64Var(&c.sloLatencyTarget, "slo-latency-target", 0, "fraction of requests that must beat -slo-latency (default 0.99; requires -slo-latency)")
@@ -138,6 +142,12 @@ func (c *config) validate(set map[string]bool) error {
 	}
 	if c.buildWorkers < 0 {
 		return fmt.Errorf("-build-workers must be non-negative (0 = GOMAXPROCS), got %d", c.buildWorkers)
+	}
+	if c.workloadWindow < 0 {
+		return fmt.Errorf("-workload-window must be non-negative (0 = default), got %v", c.workloadWindow)
+	}
+	if c.workloadWindow > 0 && c.workloadCap < 0 {
+		return fmt.Errorf("-workload-window is meaningless with profiling disabled (-workload-cap %d)", c.workloadCap)
 	}
 	// SLO flags are server-wide defaults, legitimate in both modes (the
 	// manifest's per-shard objectives win where both are set).

@@ -26,6 +26,8 @@
 //	curl -s localhost:8080/debug/slowlog  # per-shard ring buffer; /debug/slowlog/all merges shards
 //	curl -s localhost:8080/debug/traces   # recent + slowest request trace trees, correlated by X-Request-ID
 //	curl -s localhost:8080/debug/slo      # per-tenant SLO reports: multi-window error-budget burn rates
+//	curl -s localhost:8080/debug/workload # query-shape analytics, class pain scores, synopsis coverage
+//	curl -s 'localhost:8080/admin/workload/export?tenant=acme&collection=docs'  # versioned WorkloadProfile artifact
 //	curl -s localhost:8080/readyz         # 503 before the first shard attaches and while draining
 //	curl -s localhost:8080/debug/accuracy # per-class estimation error + drift flags
 //	curl -s localhost:8080/debug/synopsis # clusters, budget split, generation, rebuild status
@@ -247,6 +249,9 @@ func main() {
 			if cfg.buildWorkers > 0 {
 				opts = append(opts, service.WithBuildWorkers(cfg.buildWorkers))
 			}
+			if cfg.workloadCap != 0 || cfg.workloadWindow != 0 {
+				opts = append(opts, service.WithWorkloadProfile(cfg.workloadCap, cfg.workloadWindow))
+			}
 			// Server-wide SLO defaults; a shard's manifest objectives are
 			// appended after these by the catalog and win.
 			slo := obs.SLOConfig{
@@ -391,6 +396,7 @@ func main() {
 				logger.Warn("slow query",
 					"shard", ref.key,
 					"request_id", e.RequestID,
+					"shape_id", e.ShapeID,
 					"query", e.Query,
 					"plan", e.Plan,
 					"estimate", e.Estimate,

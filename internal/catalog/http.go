@@ -96,15 +96,16 @@ type SlowLogAllResponse struct {
 //	GET  /debug/slowlog/all     all shards' slow queries, annotated, most recent first (?limit=N)
 //	GET  /debug/traces          merged trace trees: the catalog's plus every shard's, tenant/collection-labeled
 //	GET  /debug/slo             every shard's SLO report, tenant/collection-labeled
+//	GET  /debug/workload        every shard's workload profile, tenant/collection-labeled (?limit=N)
 //	GET  /readyz                503 before the first shard attaches and while shutting down; 200 otherwise
 //	GET  /healthz, /buildinfo   served directly
 //
 // Every other service endpoint (/stats, /synopsis, /feedback,
 // /debug/slowlog, /debug/accuracy, /debug/synopsis, /admin/reload,
-// /admin/rebuild) is delegated per shard, addressed with
-// ?tenant=T&collection=C query parameters; without them the default
-// shard answers, so a converted single-tenant deployment's clients and
-// scripts keep working unchanged.
+// /admin/rebuild, /admin/workload/export) is delegated per shard,
+// addressed with ?tenant=T&collection=C query parameters; without them
+// the default shard answers, so a converted single-tenant deployment's
+// clients and scripts keep working unchanged.
 //
 // The handler is wrapped in the request-correlation middleware: every
 // response carries X-Request-ID (honored from the request or
@@ -123,6 +124,7 @@ func (c *Catalog) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/slowlog/all", c.handleSlowLogAll)
 	mux.HandleFunc("GET /debug/traces", c.handleTraces)
 	mux.HandleFunc("GET /debug/slo", c.handleSLO)
+	mux.HandleFunc("GET /debug/workload", c.handleWorkloadAll)
 	mux.HandleFunc("GET /readyz", c.handleReady)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -140,6 +142,7 @@ func (c *Catalog) Handler() http.Handler {
 		"GET /debug/synopsis",
 		"POST /admin/reload",
 		"POST /admin/rebuild",
+		"GET /admin/workload/export",
 	} {
 		mux.HandleFunc(ep, c.delegate)
 	}
@@ -215,6 +218,45 @@ func (c *Catalog) handleSLO(w http.ResponseWriter, r *http.Request) {
 			Tenant:     sh.key.Tenant,
 			Collection: sh.key.Collection,
 			SLOReport:  sh.svc.SLO().Report(),
+		})
+	}
+	service.WriteJSON(w, http.StatusOK, resp)
+}
+
+// ShardWorkload is one shard's workload profile in the catalog's
+// GET /debug/workload.
+type ShardWorkload struct {
+	Tenant     string `json:"tenant"`
+	Collection string `json:"collection"`
+	service.WorkloadResponse
+}
+
+// WorkloadAllResponse is the body of the catalog's GET /debug/workload:
+// every shard's live workload profile and coverage report, including
+// shards with profiling disabled (Enabled false), so traffic mix and
+// budget misallocation are comparable across tenants in one response.
+type WorkloadAllResponse struct {
+	Shards []ShardWorkload `json:"shards"`
+}
+
+func (c *Catalog) handleWorkloadAll(w http.ResponseWriter, r *http.Request) {
+	limitRaw := r.URL.Query().Get("limit")
+	limit, capped := 0, false
+	if limitRaw != "" {
+		n, err := strconv.Atoi(limitRaw)
+		if err != nil || n < 0 {
+			service.WriteErrorMsg(w, http.StatusBadRequest,
+				fmt.Sprintf("bad limit %q: want a non-negative integer", limitRaw))
+			return
+		}
+		limit, capped = n, true
+	}
+	resp := WorkloadAllResponse{Shards: []ShardWorkload{}}
+	for _, sh := range c.allShards() {
+		resp.Shards = append(resp.Shards, ShardWorkload{
+			Tenant:           sh.key.Tenant,
+			Collection:       sh.key.Collection,
+			WorkloadResponse: sh.svc.WorkloadReport(limit, capped),
 		})
 	}
 	service.WriteJSON(w, http.StatusOK, resp)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"xcluster/internal/obs"
+	"xcluster/internal/profile"
 )
 
 // postJSONWithID is postJSON plus a client X-Request-ID header.
@@ -219,5 +220,90 @@ func TestManifestSLOValidation(t *testing.T) {
 	cfg := man.Shards[0].SLO()
 	if !cfg.Enabled() || cfg.Availability != 0.99 || cfg.LatencyTarget != 0.95 {
 		t.Fatalf("parsed SLO config = %+v", cfg)
+	}
+}
+
+// TestCatalogWorkload: the merged GET /debug/workload lists every
+// shard's profile with tenant/collection labels, the per-shard export
+// delegates, and workload series reach the merged scrape labeled.
+func TestCatalogWorkload(t *testing.T) {
+	c, h := httpFixture(t)
+	_ = c
+	postJSON(t, h, "/estimate", `{"tenant":"acme","collection":"docs","queries":["//book","//book[year>1990]"]}`, nil)
+	postJSON(t, h, "/estimate", `{"tenant":"acme","collection":"mail","queries":["//book/title"]}`, nil)
+
+	w := getPath(t, h, "/debug/workload")
+	if w.Code != http.StatusOK {
+		t.Fatalf("workload status %d", w.Code)
+	}
+	var resp WorkloadAllResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(resp.Shards))
+	}
+	byKey := map[string]ShardWorkload{}
+	for _, s := range resp.Shards {
+		byKey[s.Tenant+"/"+s.Collection] = s
+	}
+	docs := byKey["acme/docs"]
+	if !docs.Enabled || docs.TotalRequests != 2 || len(docs.Shapes) != 2 {
+		t.Fatalf("acme/docs workload = enabled=%v total=%d shapes=%d, want 2 requests / 2 shapes",
+			docs.Enabled, docs.TotalRequests, len(docs.Shapes))
+	}
+	if docs.Coverage.TotalBudgetBytes == 0 || len(docs.Coverage.Rows) == 0 {
+		t.Fatalf("acme/docs coverage = %+v, want populated", docs.Coverage)
+	}
+	if mail := byKey["acme/mail"]; mail.TotalRequests != 1 {
+		t.Fatalf("acme/mail total = %d, want 1", mail.TotalRequests)
+	}
+	if idle := byKey["globex/docs"]; !idle.Enabled || idle.TotalRequests != 0 {
+		t.Fatalf("globex/docs = enabled=%v total=%d, want enabled idle shard", idle.Enabled, idle.TotalRequests)
+	}
+
+	// ?limit caps each shard's shape list.
+	w = getPath(t, h, "/debug/workload?limit=1")
+	var capped WorkloadAllResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &capped); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range capped.Shards {
+		if len(s.Shapes) > 1 {
+			t.Fatalf("%s/%s shapes = %d after limit=1", s.Tenant, s.Collection, len(s.Shapes))
+		}
+	}
+	if w = getPath(t, h, "/debug/workload?limit=x"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d, want 400", w.Code)
+	}
+
+	// The export endpoint delegates per shard and yields the addressed
+	// shard's artifact.
+	w = getPath(t, h, "/admin/workload/export?tenant=acme&collection=docs")
+	if w.Code != http.StatusOK {
+		t.Fatalf("export status %d: %s", w.Code, w.Body.String())
+	}
+	exported, err := profile.Parse(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("delegated export does not parse: %v", err)
+	}
+	if exported.TotalRequests != 2 {
+		t.Fatalf("exported total = %d, want acme/docs's 2", exported.TotalRequests)
+	}
+
+	// Workload series arrive in the merged scrape with shard labels;
+	// the default shard (UnlabeledDefault) scrapes unlabeled, so a
+	// converted single-tenant deployment's dashboards keep working.
+	body := getPath(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		`xcluster_workload_requests_total{class="struct"} 1`,
+		`xcluster_workload_requests_total{class="range"} 1`,
+		`xcluster_workload_requests_total{tenant="acme",collection="mail",class="struct"} 1`,
+		`xcluster_workload_shapes_tracked 2`,
+		`xcluster_workload_shapes_tracked{tenant="acme",collection="mail"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

@@ -37,6 +37,11 @@ type EstimateTrace struct {
 	// Canonical is the query's canonical string — its identity in both
 	// caches and the slow-query log.
 	Canonical string
+	// CanonicalHash is the 64-bit FNV-1a hash of Canonical, computed
+	// once per estimate in the tracing layer so downstream consumers
+	// (the workload profiler's shape lookup, slow-log shape tagging)
+	// never re-hash the canonical string on the hot path.
+	CanonicalHash uint64
 	// Spans are the stage timings in execution order.
 	Spans []Span
 	// Total is the wall time of the whole call; it is at least the sum
@@ -62,6 +67,22 @@ type EstimateTrace struct {
 	// caches) — and the lifecycle tests assert exactly that.
 	Generation     uint64
 	PlanGeneration uint64
+}
+
+// CanonicalHash is the 64-bit FNV-1a hash of a canonical query string,
+// the cheap per-request identity SelectivityTraced stamps on every
+// trace (EstimateTrace.CanonicalHash).
+func CanonicalHash(canonical string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(canonical); i++ {
+		h ^= uint64(canonical[i])
+		h *= prime64
+	}
+	return h
 }
 
 // add appends one stage timing at the given offset from estimate start.
@@ -91,6 +112,7 @@ func (e *Estimator) SelectivityTraced(ctx context.Context, q *query.Query) (floa
 	t0 := time.Now()
 	canonical := q.String()
 	tr.Canonical = canonical
+	tr.CanonicalHash = CanonicalHash(canonical)
 	key := e.saltKey(canonical)
 	tr.add(StageCanonicalize, 0, time.Since(t0))
 

@@ -29,7 +29,11 @@ type SlowLogEntry struct {
 	// RequestID correlates the entry with the request's trace tree
 	// (GET /debug/traces) and the daemon's log lines; empty for work
 	// that arrived outside the HTTP layer.
-	RequestID  string        `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// ShapeID is the canonical query-shape identifier assigned by the
+	// workload profiler, so slow-log rows join against the shape table
+	// at GET /debug/workload; empty when profiling is disabled.
+	ShapeID    string        `json:"shape_id,omitempty"`
 	Query      string        `json:"query"`
 	Plan       string        `json:"plan,omitempty"`
 	Estimate   float64       `json:"estimate"`

@@ -97,7 +97,30 @@ type Span struct {
 	start      time.Time
 	d          time.Duration // 0 until Finish
 	children   []*Span
+
+	// poolable marks spans built by CompletedSpan, the only constructor
+	// whose spans are recycled through spanPool when the trace store
+	// evicts their tree. It is set at creation and never changes. Spans
+	// from NewSpan and StartChild stay GC-managed on purpose: long-lived
+	// references may outlive the store's retention (a scatter straggler
+	// holds the root and its shard child through its context), and a
+	// recycled span under a live reference would corrupt another
+	// request's trace. CompletedSpan subtrees have no such references —
+	// they are fully built before AddChild publishes them and never
+	// touched by their creator again.
+	poolable bool
+	// storeRefs counts how many TraceStore retention slots (recent ring,
+	// slowest list) hold this span as a root. Guarded by the owning
+	// store's mu; the tree is released for reuse when it drops to zero.
+	storeRefs int
 }
+
+// spanPool recycles CompletedSpan nodes — the per-estimate subtree that
+// dominates sampled-in tracing allocations (one span per pipeline stage
+// per estimate). Released spans keep their children backing array, so a
+// reused estimate span appends its stage children without growing a
+// fresh slice.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
 
 // NewSpan starts a span now. requestID may be "" for children; Snapshot
 // omits empty fields.
@@ -107,9 +130,41 @@ func NewSpan(name, requestID string) *Span {
 
 // CompletedSpan builds an already-finished span from recorded timings,
 // for attaching pipeline-stage measurements that were captured by other
-// means (core.EstimateTrace) into a trace tree after the fact.
+// means (core.EstimateTrace) into a trace tree after the fact. The span
+// comes from a pool fed by trace-store eviction; callers must finish
+// building the subtree (SetDetail, AddChild) before attaching it to a
+// live tree, and must not retain references past that attachment.
 func CompletedSpan(name string, start time.Time, d time.Duration) *Span {
-	return &Span{name: name, start: start, d: d}
+	sp := spanPool.Get().(*Span)
+	sp.name, sp.start, sp.d = name, start, d
+	sp.poolable = true
+	return sp
+}
+
+// releaseTree detaches and recycles an evicted trace tree: children are
+// released depth-first and cleared, and poolable spans return to
+// spanPool with their fields zeroed (children keep their backing array).
+// The walk holds each parent's lock while releasing its children, so it
+// serializes with a straggler's AddChild on the same node: the straggler
+// either attaches before the clear (and its subtree is recycled here) or
+// attaches to an already-detached node, where the subtree leaks
+// harmlessly to the garbage collector instead of the pool.
+func releaseTree(s *Span) {
+	s.mu.Lock()
+	for i, c := range s.children {
+		releaseTree(c)
+		s.children[i] = nil
+	}
+	s.children = s.children[:0]
+	if !s.poolable {
+		s.mu.Unlock()
+		return
+	}
+	s.name, s.requestID, s.tenant, s.collection, s.detail, s.err = "", "", "", "", "", ""
+	s.start = time.Time{}
+	s.d = 0
+	s.mu.Unlock()
+	spanPool.Put(s)
 }
 
 // RequestID returns the span's request ID.
@@ -277,7 +332,9 @@ func NewTraceStore(recent, slowest int) *TraceStore {
 }
 
 // Record retains a finished root span. Roots beyond the family cap are
-// pooled under the "_other" family rather than dropped.
+// pooled under the "_other" family rather than dropped. A root evicted
+// from both retention structures (its ring slot was overwritten and it
+// is not among the slowest) has its tree released back to the span pool.
 func (ts *TraceStore) Record(root *Span) {
 	if ts == nil || root == nil {
 		return
@@ -300,18 +357,39 @@ func (ts *TraceStore) Record(root *Span) {
 			ts.families[family] = f
 		}
 	}
-	f.recent[f.next%uint64(len(f.recent))] = root
+	slot := f.next % uint64(len(f.recent))
+	root.storeRefs++
+	if old := f.recent[slot]; old != nil {
+		ts.unref(old)
+	}
+	f.recent[slot] = root
 	f.next++
 	f.total++
 
 	// Keep the slowest slowCap traces, ascending by duration: insert in
-	// order, drop the fastest when over capacity.
+	// order, drop the fastest when over capacity (shifting in place so
+	// the backing array never migrates).
 	i := sort.Search(len(f.slow), func(i int) bool { return f.slow[i].Duration() >= d })
 	f.slow = append(f.slow, nil)
 	copy(f.slow[i+1:], f.slow[i:])
 	f.slow[i] = root
+	root.storeRefs++
 	if len(f.slow) > ts.slowCap {
-		f.slow = f.slow[1:]
+		dropped := f.slow[0]
+		copy(f.slow, f.slow[1:])
+		f.slow[len(f.slow)-1] = nil
+		f.slow = f.slow[:len(f.slow)-1]
+		ts.unref(dropped)
+	}
+}
+
+// unref drops one retention reference from a root, releasing its tree
+// to the span pool when no ring slot or slowest entry holds it anymore.
+// Caller holds ts.mu.
+func (ts *TraceStore) unref(root *Span) {
+	root.storeRefs--
+	if root.storeRefs == 0 {
+		releaseTree(root)
 	}
 }
 
@@ -326,46 +404,40 @@ type FamilySnapshot struct {
 }
 
 // Snapshot renders every family, sorted by name, most recent trace
-// first and slowest trace first.
+// first and slowest trace first. The deep copy runs under the store's
+// lock: a concurrent Record could otherwise evict a retained root and
+// release its tree to the span pool mid-copy.
 func (ts *TraceStore) Snapshot() []FamilySnapshot {
 	if ts == nil {
 		return nil
 	}
 	ts.mu.Lock()
 	type fam struct {
-		name         string
-		total        uint64
-		recent, slow []*Span
+		name string
+		fs   FamilySnapshot
 	}
 	fams := make([]fam, 0, len(ts.families))
 	for name, f := range ts.families {
+		fs := FamilySnapshot{Family: name, Total: f.total}
 		n := f.next
 		if n > uint64(len(f.recent)) {
 			n = uint64(len(f.recent))
 		}
-		recent := make([]*Span, 0, n)
 		for i := uint64(0); i < n; i++ {
-			recent = append(recent, f.recent[(f.next-1-i)%uint64(len(f.recent))])
+			sp := f.recent[(f.next-1-i)%uint64(len(f.recent))]
+			fs.Recent = append(fs.Recent, sp.Snapshot())
 		}
-		slow := make([]*Span, len(f.slow))
-		for i, sp := range f.slow {
-			slow[len(f.slow)-1-i] = sp // descending by duration
+		for i := len(f.slow) - 1; i >= 0; i-- { // descending by duration
+			fs.Slowest = append(fs.Slowest, f.slow[i].Snapshot())
 		}
-		fams = append(fams, fam{name: name, total: f.total, recent: recent, slow: slow})
+		fams = append(fams, fam{name: name, fs: fs})
 	}
 	ts.mu.Unlock()
 
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	out := make([]FamilySnapshot, len(fams))
 	for i, f := range fams {
-		fs := FamilySnapshot{Family: f.name, Total: f.total}
-		for _, sp := range f.recent {
-			fs.Recent = append(fs.Recent, sp.Snapshot())
-		}
-		for _, sp := range f.slow {
-			fs.Slowest = append(fs.Slowest, sp.Snapshot())
-		}
-		out[i] = fs
+		out[i] = f.fs
 	}
 	return out
 }

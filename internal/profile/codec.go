@@ -1,0 +1,123 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"xcluster/internal/accuracy"
+)
+
+// ProfileVersion is the WorkloadProfile file-format version this build
+// writes and the only one Parse accepts.
+const ProfileVersion = 1
+
+// ErrProfileVersion reports a profile whose version this build cannot
+// read; test with errors.Is.
+var ErrProfileVersion = errors.New("profile: unsupported workload profile version")
+
+// Profile is the versioned, persistable WorkloadProfile artifact: a
+// Snapshot plus identity. It is the contract a workload-adaptive
+// rebuild consumes — exported at GET /admin/workload/export, parsed
+// back with Parse, and identified by Fingerprint (also stamped into
+// rebuild SwapEvents, so a swap records the workload mix that was live
+// when it happened).
+type Profile struct {
+	Version        int   `json:"version"`
+	CapturedAtUnix int64 `json:"captured_at_unix"`
+	// Fingerprint identifies the workload mix: a 16-hex hash over the
+	// class and shape counts (capture time and rates excluded, so two
+	// captures of identical traffic fingerprint identically).
+	Fingerprint string `json:"fingerprint"`
+	Snapshot
+}
+
+// Profile captures the profiler at time now as a persistable artifact,
+// with class error and pain joined from rep.
+func (p *Profiler) Profile(now time.Time, rep accuracy.Report) Profile {
+	snap := p.Snapshot(now)
+	snap.Join(rep)
+	return Profile{
+		Version:        ProfileVersion,
+		CapturedAtUnix: now.Unix(),
+		Fingerprint:    snap.fingerprint(),
+		Snapshot:       snap,
+	}
+}
+
+// Fingerprint returns the 16-hex fingerprint of the current workload
+// mix ("" on a nil profiler) without building a full artifact.
+func (p *Profiler) Fingerprint(now time.Time) string {
+	if p == nil {
+		return ""
+	}
+	snap := p.Snapshot(now)
+	return snap.fingerprint()
+}
+
+// fingerprint hashes the snapshot's identity-bearing fields: version,
+// shape capacity, window, and the class and shape counts. Rates,
+// latencies, and join results are derived views and excluded.
+func (s *Snapshot) fingerprint() string {
+	var b bytes.Buffer
+	b.WriteString("v")
+	b.WriteString(strconv.Itoa(ProfileVersion))
+	b.WriteString("|cap=")
+	b.WriteString(strconv.Itoa(s.Capacity))
+	b.WriteString("|win=")
+	b.WriteString(strconv.FormatFloat(s.WindowSeconds, 'g', -1, 64))
+	for _, c := range s.Classes {
+		fmt.Fprintf(&b, "|c:%s=%d/%d", c.Class, c.Count, c.Failed)
+	}
+	for _, sh := range s.Shapes {
+		fmt.Fprintf(&b, "|s:%s=%d-%d", sh.ID, sh.Count, sh.CountError)
+	}
+	return fmt.Sprintf("%016x", hash64(b.String()))
+}
+
+// Encode renders the profile as its canonical JSON file form.
+func Encode(p Profile) ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("profile: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse decodes and validates a WorkloadProfile file: unknown fields
+// are rejected (a field this build does not know is a format it does
+// not speak), the version must match, and the recorded fingerprint
+// must agree with one recomputed from the contents — a profile edited
+// or truncated in transit fails loudly instead of silently steering a
+// rebuild. Parse(Encode(p)) returns p exactly.
+func Parse(data []byte) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("profile: parse: %w", err)
+	}
+	if err := checkTrailer(dec); err != nil {
+		return Profile{}, err
+	}
+	if p.Version != ProfileVersion {
+		return Profile{}, fmt.Errorf("%w: file version %d, this build reads %d",
+			ErrProfileVersion, p.Version, ProfileVersion)
+	}
+	if got := p.Snapshot.fingerprint(); got != p.Fingerprint {
+		return Profile{}, fmt.Errorf("profile: parse: fingerprint mismatch: file says %s, contents hash to %s",
+			p.Fingerprint, got)
+	}
+	return p, nil
+}
+
+// checkTrailer rejects trailing garbage after the JSON document.
+func checkTrailer(dec *json.Decoder) error {
+	if _, err := dec.Token(); err == nil {
+		return errors.New("profile: parse: trailing data after profile document")
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
+	"xcluster/internal/profile"
 	"xcluster/internal/query"
 	"xcluster/internal/xmltree"
 )
@@ -42,6 +43,9 @@ var (
 	// being detached: in-flight work finishes, new work is refused
 	// (HTTP 503).
 	ErrShardDraining = errors.New("service: shard draining")
+	// ErrNoProfiler reports a workload-profile operation on a service
+	// whose profiler was disabled (HTTP 412).
+	ErrNoProfiler = errors.New("service: workload profiling disabled (WithWorkloadProfile)")
 )
 
 // ErrorStatus maps a service or catalog error to its HTTP status:
@@ -58,7 +62,7 @@ func ErrorStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrRebuildInProgress):
 		return http.StatusConflict
-	case errors.Is(err, ErrNoSource), errors.Is(err, ErrNoDocument):
+	case errors.Is(err, ErrNoSource), errors.Is(err, ErrNoDocument), errors.Is(err, ErrNoProfiler):
 		return http.StatusPreconditionFailed
 	default:
 		return http.StatusInternalServerError
@@ -327,6 +331,8 @@ const explainLimit = 5
 //	GET  /readyz          readiness probe (503 while draining)
 //	GET  /debug/traces    retained request trace trees per family
 //	GET  /debug/slo       availability/latency error-budget burn rates
+//	GET  /debug/workload  live workload profile: shape top-K, class mix, pain scores, coverage (?limit=N)
+//	GET  /admin/workload/export  the versioned WorkloadProfile JSON artifact
 //
 // Every request is wrapped in request correlation: a well-formed client
 // X-Request-ID is honored (one is generated otherwise), echoed on the
@@ -347,6 +353,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/synopsis", s.handleSynopsisDebug)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	mux.HandleFunc("GET /admin/workload/export", s.handleWorkloadExport)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
@@ -391,6 +399,73 @@ func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
 // multi-window burn rates ({"enabled":false} when none are configured).
 func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.slo.Report())
+}
+
+// WorkloadResponse is the body of GET /debug/workload: the profiler's
+// snapshot (shape top-K, class mix with pain scores) plus the synopsis
+// coverage report comparing the observed class mix against the served
+// synopsis's budget byte split. Enabled is false (and everything else
+// zero) when profiling was disabled.
+type WorkloadResponse struct {
+	Enabled bool `json:"enabled"`
+	profile.Snapshot
+	Coverage profile.CoverageReport `json:"coverage"`
+}
+
+// WorkloadReport builds the GET /debug/workload body: snapshot, pain
+// join, and coverage against the serving generation's budget split.
+// limit caps the shape list when capped is true. Exported so the
+// multi-tenant catalog renders the same rows per shard.
+func (s *Service) WorkloadReport(limit int, capped bool) WorkloadResponse {
+	if s.prof == nil {
+		return WorkloadResponse{}
+	}
+	snap := s.prof.Snapshot(time.Now())
+	snap.Join(s.mon.Report())
+	if capped && len(snap.Shapes) > limit {
+		snap.Shapes = snap.Shapes[:limit]
+	}
+	b := synopsisBudget(s.cur.Load().syn)
+	return WorkloadResponse{
+		Enabled:  true,
+		Snapshot: snap,
+		Coverage: profile.Coverage(snap.Classes, profile.BudgetSplit{
+			NodeBytes:      b.NodeBytes,
+			EdgeBytes:      b.EdgeBytes,
+			HistogramBytes: b.HistogramBytes,
+			PSTBytes:       b.PSTBytes,
+			TermHistBytes:  b.TermHistBytes,
+		}),
+	}
+}
+
+// handleWorkload implements GET /debug/workload.
+func (s *Service) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	limit, capped, err := parseLimit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.WorkloadReport(limit, capped))
+}
+
+// handleWorkloadExport implements GET /admin/workload/export: the
+// versioned WorkloadProfile artifact in its canonical file encoding
+// (profile.Encode), so the body can be saved and fed back through
+// profile.Parse byte-for-byte. 412 when profiling is disabled.
+func (s *Service) handleWorkloadExport(w http.ResponseWriter, r *http.Request) {
+	p, err := s.WorkloadProfile()
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	b, err := profile.Encode(p)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck // headers are out; nothing to do
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -621,6 +696,31 @@ func summaryKind(vt xmltree.ValueType) string {
 	}
 }
 
+// synopsisBudget computes the storage split of a synopsis: structural
+// charge from the cluster and edge counts, value charge by summary
+// kind. Shared by GET /debug/synopsis and the workload coverage report.
+func synopsisBudget(syn *core.Synopsis) SynopsisBudget {
+	b := SynopsisBudget{
+		NodeBytes: syn.NumNodes() * core.NodeBytes,
+		EdgeBytes: syn.NumEdges() * core.EdgeBytes,
+	}
+	for _, n := range syn.Nodes() {
+		if n.VSum == nil {
+			continue
+		}
+		bytes := n.VSum.SizeBytes()
+		switch n.VSum.Type() {
+		case xmltree.TypeNumeric:
+			b.HistogramBytes += bytes
+		case xmltree.TypeString:
+			b.PSTBytes += bytes
+		case xmltree.TypeText:
+			b.TermHistBytes += bytes
+		}
+	}
+	return b
+}
+
 func (s *Service) handleSynopsisDebug(w http.ResponseWriter, r *http.Request) {
 	limit, capped, err := parseLimit(r)
 	if err != nil {
@@ -653,10 +753,7 @@ func (s *Service) handleSynopsisDebug(w http.ResponseWriter, r *http.Request) {
 		TotalBytes:    sl.syn.TotalBytes(),
 		Version:       ver,
 		Rebuild:       s.RebuildStatus(),
-		Budget: SynopsisBudget{
-			NodeBytes: sl.syn.NumNodes() * core.NodeBytes,
-			EdgeBytes: sl.syn.NumEdges() * core.EdgeBytes,
-		},
+		Budget:        synopsisBudget(sl.syn),
 	}
 	nodes := sl.syn.Nodes()
 	resp.ClusterDetail = make([]SynopsisCluster, 0, len(nodes))
@@ -669,17 +766,8 @@ func (s *Service) handleSynopsisDebug(w http.ResponseWriter, r *http.Request) {
 			Children: len(n.Children),
 		}
 		if n.VSum != nil {
-			bytes := n.VSum.SizeBytes()
 			row.Summary = summaryKind(n.VSum.Type())
-			row.SummaryBytes = bytes
-			switch n.VSum.Type() {
-			case xmltree.TypeNumeric:
-				resp.Budget.HistogramBytes += bytes
-			case xmltree.TypeString:
-				resp.Budget.PSTBytes += bytes
-			case xmltree.TypeText:
-				resp.Budget.TermHistBytes += bytes
-			}
+			row.SummaryBytes = n.VSum.SizeBytes()
 		}
 		resp.ClusterDetail = append(resp.ClusterDetail, row)
 	}

@@ -70,6 +70,11 @@ type SwapEvent struct {
 	// Build carries the construction statistics when the swap came from
 	// a Rebuild (nil for reloads, whose synopsis was built elsewhere).
 	Build *core.BuildStats `json:"build,omitempty"`
+	// WorkloadFingerprint is the workload profiler's mix fingerprint at
+	// swap time (empty when profiling is disabled), recording which
+	// traffic mix was live when the generation was installed — the
+	// anchor for auditing workload-adaptive rebuilds later.
+	WorkloadFingerprint string `json:"workload_fingerprint,omitempty"`
 }
 
 // WithSynopsisSource configures where Reload re-reads the synopsis from
@@ -152,14 +157,15 @@ func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration, bu
 	s.swapMu.Unlock()
 	old.est.InvalidateCaches()
 	ev := SwapEvent{
-		OldGeneration:  old.syn.Fingerprint().Generation,
-		NewGeneration:  fp.Generation,
-		Reason:         reason,
-		Nodes:          syn.NumNodes(),
-		TotalBytes:     syn.TotalBytes(),
-		Duration:       d,
-		DurationString: d.String(),
-		Build:          build,
+		OldGeneration:       old.syn.Fingerprint().Generation,
+		NewGeneration:       fp.Generation,
+		Reason:              reason,
+		Nodes:               syn.NumNodes(),
+		TotalBytes:          syn.TotalBytes(),
+		Duration:            d,
+		DurationString:      d.String(),
+		Build:               build,
+		WorkloadFingerprint: s.prof.Fingerprint(time.Now()),
 	}
 	if s.onSwap != nil {
 		s.onSwap(ev)

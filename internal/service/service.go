@@ -26,6 +26,7 @@ import (
 	"xcluster/internal/accuracy"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
+	"xcluster/internal/profile"
 	"xcluster/internal/query"
 	"xcluster/internal/xmltree"
 )
@@ -133,6 +134,20 @@ func WithSLO(cfg obs.SLOConfig) Option {
 	return func(s *Service) { s.sloCfg = cfg }
 }
 
+// WithWorkloadProfile configures the live workload profiler: capacity
+// is the number of distinct query shapes its space-saving table tracks
+// (profile.DefaultCapacity when 0; negative disables profiling
+// entirely), window the rolling-window width behind rates and traffic
+// shares (profile.DefaultWindow when 0). The profiler is on by
+// default: its hot-path cost is a handful of atomic updates per
+// estimate (priced by BENCH_workload.json), and its output —
+// GET /debug/workload, xcluster_workload_* series, and the exported
+// WorkloadProfile artifact — is what workload-adaptive rebuilds
+// consume.
+func WithWorkloadProfile(capacity int, window time.Duration) Option {
+	return func(s *Service) { s.profCap, s.profWindow = capacity, window }
+}
+
 // WithTraceStore overrides the request trace store. The default is a
 // fresh store with the obs package's default retention; nil disables
 // request tracing entirely (requests still get correlated IDs, but no
@@ -184,6 +199,12 @@ type Service struct {
 	// slow is the optional slow-query ring (nil when disabled).
 	reg  *obs.Registry
 	slow *obs.SlowLog
+
+	// prof sketches the live workload (nil when disabled via
+	// WithWorkloadProfile with a negative capacity).
+	prof       *profile.Profiler
+	profCap    int
+	profWindow time.Duration
 
 	// Request-correlation and SLO state: traces retains completed span
 	// trees for GET /debug/traces (nil: tracing disabled), slo tracks
@@ -248,6 +269,9 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 	}
 	s.slo = obs.NewSLOTracker(s.sloCfg)
 	s.runtime = obs.NewRuntimeSampler()
+	if s.profCap >= 0 {
+		s.prof = profile.New(s.profCap, s.profWindow)
+	}
 	s.wireMetrics()
 	// Install the initial generation. The artifact keeps whatever
 	// generation its fingerprint carries (0 for fresh builds and legacy
@@ -324,6 +348,14 @@ func (s *Service) wireMetrics() {
 	r.Help("xcluster_rebuilds_total", "Synopsis rebuilds attempted, by outcome.")
 	r.Help("xcluster_rebuild_seconds", "End-to-end wall time of successful synopsis rebuilds (build through swap).")
 	r.Help("xcluster_synopsis_swaps_total", "Synopsis hot swaps performed (reloads and rebuilds).")
+	if s.prof != nil {
+		r.Help("xcluster_workload_requests_total", "Estimates profiled by the workload profiler, by accuracy class.")
+		r.Help("xcluster_workload_errors_total", "Failed estimates profiled by the workload profiler, by accuracy class.")
+		r.Help("xcluster_workload_class_share", "Rolling-window traffic share per accuracy class.")
+		r.Help("xcluster_workload_pain_score", "Traffic share times relative error per accuracy class.")
+		r.Help("xcluster_workload_shapes_tracked", "Distinct query shapes currently tracked by the workload profiler.")
+		r.Help("xcluster_workload_shape_evictions_total", "Shapes displaced from the profiler's bounded top-K table.")
+	}
 	r.Help(core.MetricPipelineStageSeconds, "Wall time per estimation pipeline stage.")
 	r.Help(core.MetricCacheLookupsTotal, "Estimate-pipeline cache lookups, by cache and outcome.")
 	r.Help(core.MetricBuildPhaseSeconds, "Synopsis build phase wall time.")
@@ -371,6 +403,9 @@ func (s *Service) syncRegistry() {
 		r.Counter("xcluster_shadow_dropped_total", `reason="queue_full"`).Store(st.QueueDrops)
 		r.Counter("xcluster_shadow_dropped_total", `reason="deadline"`).Store(st.DeadlineDrops)
 		r.Counter("xcluster_shadow_dropped_total", `reason="error"`).Store(st.ErrorDrops)
+	}
+	if s.prof != nil {
+		s.prof.Sync(r, s.mon.Report(), time.Now())
 	}
 	s.slo.Sync(r)
 }
@@ -421,6 +456,19 @@ func (s *Service) Monitor() *accuracy.Monitor { return s.mon }
 // disabled or no ground-truth source was configured).
 func (s *Service) Shadow() *accuracy.Shadow { return s.shadow }
 
+// Workload returns the live workload profiler (nil when disabled).
+func (s *Service) Workload() *profile.Profiler { return s.prof }
+
+// WorkloadProfile captures the live workload as a versioned,
+// persistable artifact with class error and pain joined from the
+// accuracy monitor — the body of GET /admin/workload/export.
+func (s *Service) WorkloadProfile() (profile.Profile, error) {
+	if s.prof == nil {
+		return profile.Profile{}, ErrNoProfiler
+	}
+	return s.prof.Profile(time.Now(), s.mon.Report()), nil
+}
+
 // Estimate answers one query under the service's deadline.
 func (s *Service) Estimate(ctx context.Context, q *query.Query) (float64, error) {
 	v, _, err := s.EstimateTraced(ctx, q)
@@ -454,6 +502,12 @@ func (s *Service) estimateOne(ctx context.Context, sl *slot, q *query.Query) (fl
 	// One context lookup is the whole per-estimate tracing cost when the
 	// request carries no span (untraced callers, or tracing disabled).
 	sp := obs.SpanFrom(ctx)
+	// The profiler reuses the trace's canonical string and hash, so its
+	// hit path is a read-locked map probe plus atomic counter bumps.
+	shapeID := ""
+	if s.prof != nil && tr != nil {
+		shapeID = s.prof.Record(t0, q, tr.Canonical, tr.CanonicalHash, d, tr.Estimate, err != nil)
+	}
 	if err != nil {
 		s.failed.Inc()
 		s.slo.ObserveAt(t0, d, true)
@@ -468,7 +522,7 @@ func (s *Service) estimateOne(ctx context.Context, sl *slot, q *query.Query) (fl
 	if sp != nil {
 		sp.AddChild(estimateSpan(t0, d, tr, nil))
 	}
-	s.recordSlow(ctx, sl, q, tr, v, d)
+	s.recordSlow(ctx, sl, q, tr, v, d, shapeID)
 	if s.shadow != nil {
 		// Pair the trace's estimate with exact ground truth off the
 		// serving path; Offer never blocks.
@@ -497,7 +551,7 @@ func estimateSpan(start time.Time, d time.Duration, tr *core.EstimateTrace, err 
 // its latency reaches the threshold. The plan summary is resolved
 // through the plan cache, so the extra cost is paid only by queries
 // already slow enough to log.
-func (s *Service) recordSlow(ctx context.Context, sl *slot, q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration) {
+func (s *Service) recordSlow(ctx context.Context, sl *slot, q *query.Query, tr *core.EstimateTrace, v float64, d time.Duration, shapeID string) {
 	if s.slow == nil || d < s.slow.Threshold() {
 		return
 	}
@@ -512,6 +566,7 @@ func (s *Service) recordSlow(ctx context.Context, sl *slot, q *query.Query, tr *
 	if s.slow.Record(obs.SlowLogEntry{
 		Time:       time.Now(),
 		RequestID:  obs.RequestIDFrom(ctx),
+		ShapeID:    shapeID,
 		Query:      tr.Canonical,
 		Plan:       planSummary,
 		Estimate:   v,
