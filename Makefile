@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test bench bench-json bench-build bench-catalog bench-obs bench-workload
+.PHONY: check build test bench bench-json bench-build bench-catalog bench-obs bench-workload bench-autobudget
 
 # The check gate: gofmt, vet, build, a fast -short pass under the race
 # detector, then the full suite (slow experiment sweeps included).
@@ -55,3 +55,10 @@ bench-obs:
 bench-workload:
 	$(GO) run ./cmd/xclusterbench -experiment workload > BENCH_workload.json
 	@echo "wrote BENCH_workload.json"
+
+# Machine-readable budget-allocation benchmark: fixed structural/value
+# splits vs the sample-guided auto search vs the workload-adaptive
+# planner, all scored on held-out queries, as JSON at the repo root.
+bench-autobudget:
+	$(GO) run ./cmd/xclusterbench -experiment autobudget > BENCH_autobudget.json
+	@echo "wrote BENCH_autobudget.json"

@@ -45,11 +45,13 @@ go test -run=Fuzz ./...
 # parallel vs memoized construction), the catalog experiment
 # (scatter-gather vs single-shard estimation across a sharded corpus),
 # the observability experiment (tracing-off vs tracing-on overhead on
-# the serving hot path), and the workload-profiler experiment
+# the serving hot path), the workload-profiler experiment
 # (profiling-off vs profiling-on overhead plus the artifact round
-# trip).
+# trip), and the budget-allocation experiment (fixed vs auto vs
+# workload-planned splits on held-out queries).
 make bench-json
 make bench-build
 make bench-catalog
 make bench-obs
 make bench-workload
+make bench-autobudget

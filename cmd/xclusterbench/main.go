@@ -14,6 +14,7 @@
 //	xclusterbench -experiment catalog   # scatter-gather throughput across a sharded corpus (JSON)
 //	xclusterbench -experiment obs       # observability overhead on the serving hot path (JSON)
 //	xclusterbench -experiment workload  # workload-profiler overhead and export round trip (JSON)
+//	xclusterbench -experiment autobudget # fixed vs auto vs workload-planned budget splits (JSON)
 //
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data); the shapes — error falling with budget, struct error < 5%,
@@ -186,7 +187,8 @@ func main() {
 			check(err)
 			rows = append(rows, r...)
 		}
-		fmt.Println(harness.FormatAutoBudget(rows))
+		fmt.Fprintln(os.Stderr, harness.FormatAutoBudget(rows))
+		fmt.Println(harness.FormatAutoBudgetJSON(rows))
 	}
 	if *experiment == "build" { // opt-in: wall-clock sensitive
 		var rows []harness.BuildRow

@@ -29,6 +29,7 @@ type config struct {
 	bstr           int
 	bval           int
 	rebuildOnDrift bool
+	adaptiveBudget bool
 	buildWorkers   int
 	workloadCap    int
 	workloadWindow time.Duration
@@ -69,6 +70,7 @@ func parseFlags(args []string, out io.Writer) (*config, error) {
 	fs.IntVar(&c.bstr, "bstr", 0, "structural byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.IntVar(&c.bval, "bval", 0, "value-summary byte budget for /admin/rebuild (default: the served synopsis's own)")
 	fs.BoolVar(&c.rebuildOnDrift, "rebuild-on-drift", false, "trigger a background rebuild when accuracy drift is detected (requires -doc)")
+	fs.BoolVar(&c.adaptiveBudget, "adaptive-budget", false, "derive rebuild budget splits from the live workload profile (requires -doc; see GET /debug/budget)")
 	fs.IntVar(&c.buildWorkers, "build-workers", 0, "merge-candidate evaluation goroutines for /admin/rebuild (default GOMAXPROCS; never changes the built synopsis)")
 	fs.IntVar(&c.workloadCap, "workload-cap", 0, "workload profiler shape-table capacity per shard (default 256, negative disables profiling)")
 	fs.DurationVar(&c.workloadWindow, "workload-window", 0, "workload profiler rate window (default 1m)")
@@ -104,7 +106,7 @@ func (c *config) validate(set map[string]bool) error {
 		// Per-shard settings live in the manifest in catalog mode; an
 		// explicitly given single-synopsis flag is a configuration error,
 		// not something to silently ignore.
-		for _, f := range []string{"doc", "shadow-rate", "shadow-workers", "shadow-deadline", "bstr", "bval", "rebuild-on-drift"} {
+		for _, f := range []string{"doc", "shadow-rate", "shadow-workers", "shadow-deadline", "bstr", "bval", "rebuild-on-drift", "adaptive-budget"} {
 			if set[f] {
 				return fmt.Errorf("-%s is a per-shard setting: with -catalog, set it in the manifest's shard entries", f)
 			}
@@ -136,6 +138,12 @@ func (c *config) validate(set map[string]bool) error {
 	}
 	if c.rebuildOnDrift && c.docPath == "" {
 		return fmt.Errorf("-rebuild-on-drift requires -doc (the document to rebuild from)")
+	}
+	if c.adaptiveBudget && c.docPath == "" {
+		return fmt.Errorf("-adaptive-budget requires -doc (the document adaptive rebuilds rebuild from)")
+	}
+	if c.adaptiveBudget && c.workloadCap < 0 {
+		return fmt.Errorf("-adaptive-budget requires workload profiling (-workload-cap %d disables it)", c.workloadCap)
 	}
 	if (set["bstr"] || set["bval"]) && c.docPath == "" {
 		return fmt.Errorf("-bstr/-bval configure /admin/rebuild and require -doc")

@@ -56,6 +56,9 @@ func TestParseFlagsRejections(t *testing.T) {
 		{"negative workers", []string{"-syn", "s", "-workers", "-2"}, "-workers must be non-negative"},
 		{"negative timeout", []string{"-syn", "s", "-timeout", "-1s"}, "-timeout must be non-negative"},
 		{"drift without doc", []string{"-syn", "s", "-rebuild-on-drift"}, "requires -doc"},
+		{"adaptive budget without doc", []string{"-syn", "s", "-adaptive-budget"}, "requires -doc"},
+		{"adaptive budget without profiler", []string{"-syn", "s", "-doc", "d", "-adaptive-budget", "-workload-cap", "-1"}, "requires workload profiling"},
+		{"catalog with adaptive budget", []string{"-catalog", "m.json", "-adaptive-budget"}, "-adaptive-budget is a per-shard setting"},
 		{"negative build workers", []string{"-syn", "s", "-doc", "d", "-build-workers", "-1"}, "-build-workers must be non-negative"},
 		{"build workers without doc", []string{"-syn", "s", "-build-workers", "4"}, "requires -doc"},
 		{"slo availability above one", []string{"-syn", "s", "-slo-availability", "1.5"}, "-slo-availability must be in (0,1)"},

@@ -136,6 +136,7 @@ func daemonManifest(cfg *config) (m *catalog.Manifest, baseDir string, err error
 			ShadowWorkers:    cfg.shadowWorkers,
 			ShadowDeadlineMS: int(cfg.shadowDeadline / time.Millisecond),
 			RebuildOnDrift:   cfg.rebuildOnDrift,
+			AdaptiveBudget:   cfg.adaptiveBudget,
 		}},
 	}
 	if err := m.Validate(); err != nil {

@@ -1,0 +1,205 @@
+package budget
+
+import (
+	"reflect"
+	"testing"
+
+	"xcluster/internal/accuracy"
+	"xcluster/internal/core"
+	"xcluster/internal/profile"
+)
+
+// allPresent is a synopsis split where every component exists.
+var allPresent = profile.BudgetSplit{
+	NodeBytes: 3000, EdgeBytes: 1000,
+	HistogramBytes: 2000, PSTBytes: 2000, TermHistBytes: 2000,
+}
+
+func classes(shares, errs map[string]float64) []profile.ClassStat {
+	var out []profile.ClassStat
+	for _, cl := range accuracy.Classes() {
+		name := cl.String()
+		out = append(out, profile.ClassStat{
+			Class:        name,
+			TrafficShare: shares[name],
+			RelError:     errs[name],
+			Pain:         shares[name] * errs[name],
+		})
+	}
+	return out
+}
+
+// TestPlannerFloors: a profile where one class carries 100% of the
+// traffic must still leave a non-zero floor for every component that
+// exists in the synopsis — the satellite's starvation guarantee.
+func TestPlannerFloors(t *testing.T) {
+	const total = 100_000
+	d, err := Plan(Inputs{
+		TotalBytes: total,
+		Classes:    classes(map[string]float64{"range": 1}, map[string]float64{"range": 0.5}),
+		Actual:     allPresent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Plan
+	if p.Provenance != core.ProvenanceWorkload {
+		t.Fatalf("provenance = %q, want workload", p.Provenance)
+	}
+	if p.TotalBytes != total {
+		t.Fatalf("total %d, want %d", p.TotalBytes, total)
+	}
+	if got := p.NodeBytes + p.EdgeBytes; float64(got) < MinStructShare*total {
+		t.Fatalf("struct bytes %d below floor %v", got, MinStructShare*total)
+	}
+	for name, v := range map[string]int{
+		"histogram": p.HistogramBytes, "pst": p.PSTBytes, "termhist": p.TermHistBytes,
+	} {
+		if float64(v) < MinComponentShare*total {
+			t.Fatalf("%s bytes %d below floor %v despite zero traffic", name, v, MinComponentShare*total)
+		}
+	}
+	// The all-range workload must still dominate: histogram gets the
+	// biggest value slice.
+	if p.HistogramBytes <= p.PSTBytes || p.HistogramBytes <= p.TermHistBytes {
+		t.Fatalf("histogram not favored by all-range workload: %+v", p)
+	}
+}
+
+// TestPlannerStructCap: all-structural traffic is bounded by
+// MaxStructShare so value summaries never starve wholesale.
+func TestPlannerStructCap(t *testing.T) {
+	const total = 100_000
+	d, err := Plan(Inputs{
+		TotalBytes: total,
+		Classes:    classes(map[string]float64{"struct": 1}, map[string]float64{"struct": 0.9}),
+		Actual:     allPresent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Plan.NodeBytes + d.Plan.EdgeBytes; float64(got) > MaxStructShare*total {
+		t.Fatalf("struct bytes %d above cap %v", got, MaxStructShare*total)
+	}
+}
+
+// TestPlannerHysteresis: a class share oscillating inside the dead band
+// must not flip the plan from window to window, while a real shift
+// must. This is the satellite's thrash guarantee.
+func TestPlannerHysteresis(t *testing.T) {
+	const total = 100_000
+	mix := func(ft float64) []profile.ClassStat {
+		return classes(
+			map[string]float64{"ftcontains": ft, "struct": 1 - ft},
+			map[string]float64{"ftcontains": 0.4, "struct": 0.01},
+		)
+	}
+	base, err := Plan(Inputs{TotalBytes: total, Classes: mix(0.30), Actual: allPresent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := base.Plan
+	// Five windows of jitter around the 0.30 share.
+	for i, ft := range []float64{0.31, 0.29, 0.32, 0.28, 0.30} {
+		d, err := Plan(Inputs{TotalBytes: total, Classes: mix(ft), Actual: allPresent, Current: cur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Held {
+			t.Fatalf("window %d (share %.2f): jitter flipped the plan:\n cur %v\n new %v", i, ft, cur, d.Plan)
+		}
+		if d.Plan != cur {
+			t.Fatalf("window %d: held decision changed the plan", i)
+		}
+	}
+	// A genuine mix shift must escape the dead band.
+	d, err := Plan(Inputs{TotalBytes: total, Classes: mix(0.80), Actual: allPresent, Current: cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Held || d.Plan == cur {
+		t.Fatalf("real workload shift was held: %+v", d)
+	}
+	// Hysteresis never holds against a static plan: the first adaptive
+	// rebuild must be allowed to move off the configured split.
+	static := core.PlanFromBudgets(total/2, total-total/2)
+	d, err = Plan(Inputs{TotalBytes: total, Classes: mix(0.30), Actual: allPresent, Current: static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Held {
+		t.Fatal("planner held a static plan")
+	}
+}
+
+// TestPlannerDeterministic: identical inputs yield identical decisions.
+func TestPlannerDeterministic(t *testing.T) {
+	in := Inputs{
+		TotalBytes: 77_777,
+		Classes: classes(
+			map[string]float64{"range": 0.2, "substring": 0.3, "ftcontains": 0.1, "struct": 0.4},
+			map[string]float64{"range": 0.01, "substring": 0.2, "ftcontains": 0.4, "struct": 0.005},
+		),
+		WorkloadFingerprint: "deadbeefdeadbeef",
+		Actual:              allPresent,
+	}
+	a, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different decisions:\n%+v\n%+v", a, b)
+	}
+	if a.Plan.WorkloadFingerprint != in.WorkloadFingerprint {
+		t.Fatalf("plan lost the workload fingerprint: %+v", a.Plan)
+	}
+	if got := a.Plan.NodeBytes + a.Plan.EdgeBytes + a.Plan.HistogramBytes + a.Plan.PSTBytes + a.Plan.TermHistBytes; got != in.TotalBytes {
+		t.Fatalf("component bytes sum %d != total %d", got, in.TotalBytes)
+	}
+}
+
+// TestPlannerAbsentComponent: a component with no summaries in the
+// served synopsis gets no budget, whatever the traffic says.
+func TestPlannerAbsentComponent(t *testing.T) {
+	actual := allPresent
+	actual.TermHistBytes = 0
+	d, err := Plan(Inputs{
+		TotalBytes: 50_000,
+		Classes:    classes(map[string]float64{"ftcontains": 1}, map[string]float64{"ftcontains": 0.9}),
+		Actual:     actual,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Plan.TermHistBytes != 0 {
+		t.Fatalf("absent termhist component was funded: %+v", d.Plan)
+	}
+}
+
+// TestPlannerIdleFallsBackToActual: with no traffic at all the plan
+// reproduces the synopsis's own proportions instead of inventing a
+// split.
+func TestPlannerIdleFallsBackToActual(t *testing.T) {
+	d, err := Plan(Inputs{TotalBytes: 10_000, Classes: classes(nil, nil), Actual: allPresent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Plan
+	if p.NodeBytes+p.EdgeBytes == 0 || p.HistogramBytes == 0 || p.PSTBytes == 0 || p.TermHistBytes == 0 {
+		t.Fatalf("idle plan starved a present component: %+v", p)
+	}
+	// allPresent is 40/20/20/20: struct should hold the largest slice.
+	if s := p.NodeBytes + p.EdgeBytes; s <= p.HistogramBytes {
+		t.Fatalf("idle plan ignored actual proportions: %+v", p)
+	}
+}
+
+func TestPlannerRejectsNonPositiveTotal(t *testing.T) {
+	if _, err := Plan(Inputs{TotalBytes: 0, Actual: allPresent}); err == nil {
+		t.Fatal("zero total accepted")
+	}
+}

@@ -284,6 +284,9 @@ func (c *Catalog) buildShard(ctx context.Context, spec ShardSpec) (*Shard, error
 	if spec.RebuildOnDrift {
 		opts = append(opts, service.WithRebuildOnDrift())
 	}
+	if spec.AdaptiveBudget {
+		opts = append(opts, service.WithAdaptiveBudget())
+	}
 	if spec.StructBudget > 0 || spec.ValueBudget > 0 {
 		opts = append(opts, service.WithRebuildBudgets(spec.StructBudget, spec.ValueBudget))
 	}

@@ -101,8 +101,9 @@ type SlowLogAllResponse struct {
 //	GET  /healthz, /buildinfo   served directly
 //
 // Every other service endpoint (/stats, /synopsis, /feedback,
-// /debug/slowlog, /debug/accuracy, /debug/synopsis, /admin/reload,
-// /admin/rebuild, /admin/workload/export) is delegated per shard,
+// /debug/slowlog, /debug/accuracy, /debug/synopsis, /debug/budget,
+// /admin/reload, /admin/rebuild, /admin/workload/export) is delegated
+// per shard,
 // addressed with ?tenant=T&collection=C query parameters; without them
 // the default shard answers, so a converted single-tenant deployment's
 // clients and scripts keep working unchanged.
@@ -140,6 +141,7 @@ func (c *Catalog) Handler() http.Handler {
 		"GET /debug/slowlog",
 		"GET /debug/accuracy",
 		"GET /debug/synopsis",
+		"GET /debug/budget",
 		"POST /admin/reload",
 		"POST /admin/rebuild",
 		"GET /admin/workload/export",

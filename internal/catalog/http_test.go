@@ -267,6 +267,18 @@ func TestHTTPDelegatedEndpoints(t *testing.T) {
 	if w := getPath(t, h, "/synopsis?tenant=globex&collection=docs"); w.Code != http.StatusOK {
 		t.Fatalf("delegated synopsis status %d", w.Code)
 	}
+	// /debug/budget delegates per shard: each shard reports its own plan.
+	w = getPath(t, h, "/debug/budget?tenant=acme&collection=mail")
+	if w.Code != http.StatusOK {
+		t.Fatalf("delegated budget status %d: %s", w.Code, w.Body.String())
+	}
+	var budget map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &budget); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := budget["actual"]; !ok {
+		t.Fatalf("delegated budget body: %v", budget)
+	}
 	// Unknown shard: consistent 404 JSON.
 	w = getPath(t, h, "/stats?tenant=acme&collection=nope")
 	if w.Code != http.StatusNotFound {

@@ -64,6 +64,12 @@ type ShardSpec struct {
 	// RebuildOnDrift triggers a background rebuild of this shard when
 	// its accuracy monitor flags drift (requires Document).
 	RebuildOnDrift bool `json:"rebuild_on_drift,omitempty"`
+	// AdaptiveBudget makes this shard's drift-triggered rebuilds derive
+	// their budget split from the shard's own workload profile via the
+	// internal/budget planner (requires Document). Each shard plans
+	// independently: one tenant's traffic mix never moves another
+	// tenant's budget.
+	AdaptiveBudget bool `json:"adaptive_budget,omitempty"`
 	// SLOAvailability and SLOLatencyMS declare the shard's service-level
 	// objectives: a target success fraction in (0,1) (e.g. 0.999) and a
 	// latency objective in milliseconds. SLOLatencyTarget is the fraction
@@ -122,6 +128,9 @@ func (sp ShardSpec) validate() error {
 	}
 	if sp.RebuildOnDrift && sp.Document == "" {
 		return fmt.Errorf("catalog: shard %s/%s: rebuild_on_drift requires document", sp.Tenant, sp.Collection)
+	}
+	if sp.AdaptiveBudget && sp.Document == "" {
+		return fmt.Errorf("catalog: shard %s/%s: adaptive_budget requires document", sp.Tenant, sp.Collection)
 	}
 	if sp.SLOLatencyMS < 0 {
 		return fmt.Errorf("catalog: shard %s/%s: negative slo_latency_ms", sp.Tenant, sp.Collection)

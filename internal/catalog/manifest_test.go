@@ -59,6 +59,7 @@ func TestParseManifestRejections(t *testing.T) {
 		{"shadow without document", `{"shards": [{"tenant":"a","collection":"c","synopsis":"s","shadow_rate":0.5}]}`, "requires document"},
 		{"shadow rate over one", `{"shards": [{"tenant":"a","collection":"c","synopsis":"s","document":"d","shadow_rate":1.5}]}`, "outside [0,1]"},
 		{"rebuild without document", `{"shards": [{"tenant":"a","collection":"c","synopsis":"s","rebuild_on_drift":true}]}`, "requires document"},
+		{"adaptive budget without document", `{"shards": [{"tenant":"a","collection":"c","synopsis":"s","adaptive_budget":true}]}`, "adaptive_budget requires document"},
 		{"negative budget", `{"shards": [{"tenant":"a","collection":"c","synopsis":"s","struct_budget":-1}]}`, "negative budget"},
 		{"negative workers", `{"scatter_workers": -2, "shards": [{"tenant":"a","collection":"c","synopsis":"s"}]}`, "negative scatter_workers"},
 		{"half default", `{"default_tenant":"a","shards": [{"tenant":"a","collection":"c","synopsis":"s"}]}`, "set together"},

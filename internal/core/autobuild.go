@@ -1,13 +1,25 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
 
-// AutoAllocate implements the budget-split search the paper defers to
-// future work: "it is possible to invoke XCLUSTERBUILD with a unified
-// total space budget B and let the construction process determine
+// AutoAllocate is AutoAllocateContext with a background context, kept
+// for callers without a cancellation need. It returns the best
+// synopsis, its structural budget, and the score it achieved.
+func AutoAllocate(ref *Synopsis, totalBudget int, score func(*Synopsis) float64, opts BuildOptions) (*Synopsis, int, float64, error) {
+	s, plan, sc, err := AutoAllocateContext(context.Background(), ref, totalBudget, score, opts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s, plan.StructBudget(), sc, nil
+}
+
+// AutoAllocateContext implements the budget-split search the paper
+// defers to future work: "it is possible to invoke XCLUSTERBUILD with a
+// unified total space budget B and let the construction process determine
 // automatically the ratio of structural- to value-storage budget. One
 // plausible approach ... would be to perform a binary search in the range
 // of possible Bstr/Bval ratios, based on the observed estimation error on
@@ -17,11 +29,13 @@ import (
 // better, e.g. average relative error). The search probes a geometric
 // grid of ratios and then refines around the best with two bisection
 // rounds — the error curve is noisy, so a pure binary search on the
-// gradient would be fragile. It returns the best synopsis, its structural
-// budget, and the score it achieved.
-func AutoAllocate(ref *Synopsis, totalBudget int, score func(*Synopsis) float64, opts BuildOptions) (*Synopsis, int, float64, error) {
+// gradient would be fragile. Candidate builds run under ctx, so a
+// cancelled adaptive rebuild aborts mid-search with ctx.Err() instead
+// of finishing up to a dozen builds. It returns the best synopsis, the
+// winning BudgetPlan (provenance "auto"), and the score it achieved.
+func AutoAllocateContext(ctx context.Context, ref *Synopsis, totalBudget int, score func(*Synopsis) float64, opts BuildOptions) (*Synopsis, BudgetPlan, float64, error) {
 	if totalBudget <= 0 {
-		return nil, 0, 0, fmt.Errorf("core: AutoAllocate: non-positive budget %d", totalBudget)
+		return nil, BudgetPlan{}, 0, fmt.Errorf("core: AutoAllocate: non-positive budget %d", totalBudget)
 	}
 	type result struct {
 		frac  float64
@@ -32,9 +46,11 @@ func AutoAllocate(ref *Synopsis, totalBudget int, score func(*Synopsis) float64,
 	evalFrac := func(frac float64) (result, error) {
 		bstr := int(frac * float64(totalBudget))
 		o := opts
-		o.StructBudget = bstr
-		o.ValueBudget = totalBudget - bstr
-		s, err := XClusterBuild(ref, o)
+		plan := PlanFromBudgets(bstr, totalBudget-bstr)
+		plan.Provenance = ProvenanceAuto
+		o.Plan = &plan
+		o.StructBudget, o.ValueBudget = 0, 0
+		s, err := XClusterBuildContext(ctx, ref, o)
 		if err != nil {
 			return result{}, err
 		}
@@ -61,7 +77,7 @@ func AutoAllocate(ref *Synopsis, totalBudget int, score func(*Synopsis) float64,
 	}
 	for _, f := range probes {
 		if err := eval(f); err != nil {
-			return nil, 0, 0, err
+			return nil, BudgetPlan{}, 0, err
 		}
 	}
 	// Two refinement rounds: bisect toward the best ratio's neighbors.
@@ -73,13 +89,13 @@ func AutoAllocate(ref *Synopsis, totalBudget int, score func(*Synopsis) float64,
 				continue
 			}
 			if err := eval(f); err != nil {
-				return nil, 0, 0, err
+				return nil, BudgetPlan{}, 0, err
 			}
 		}
 		step /= 2
 	}
 	if best.s == nil {
-		return nil, 0, 0, fmt.Errorf("core: AutoAllocate: no feasible split")
+		return nil, BudgetPlan{}, 0, fmt.Errorf("core: AutoAllocate: no feasible split")
 	}
-	return best.s, best.bstr, best.score, nil
+	return best.s, best.s.Fingerprint().Plan, best.score, nil
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"xcluster/internal/xmltree"
+)
+
+// Provenance records how a BudgetPlan was chosen.
+type Provenance string
+
+const (
+	// ProvenanceStatic marks a plan synthesized from explicitly
+	// configured budgets (the classic Bstr/Bval pair).
+	ProvenanceStatic Provenance = "static"
+	// ProvenanceAuto marks a plan chosen by the sample-workload search
+	// of AutoAllocate (the paper's Section 4.3 sketch).
+	ProvenanceAuto Provenance = "auto"
+	// ProvenanceWorkload marks a plan derived from a live
+	// WorkloadProfile by the internal/budget planner.
+	ProvenanceWorkload Provenance = "workload"
+)
+
+// BudgetPlan is a first-class byte-budget decision: how one total
+// budget splits across the synopsis's storage components, where the
+// split came from (Provenance), and — for workload-derived plans — the
+// fingerprint of the WorkloadProfile that justified it.
+//
+// The builder enforces the paper's two-budget contract: StructBytes
+// bounds nodes+edges (the merge phase) and ValueBytes bounds value
+// summaries (the compression phase). The finer split refines that
+// contract where the builder can act on it: the three value components
+// (histogram/PST/term-histogram), when non-zero, direct the value
+// phase to compress each summary kind toward its own sub-budget before
+// the global pass enforces the ValueBytes total. The node/edge split
+// is advisory — merging shrinks nodes and edges together, so the
+// builder cannot trade one against the other — and is recorded so
+// operators can compare planned against actual.
+//
+// A plan with all component fields zero is exactly equivalent to the
+// legacy two-int configuration: the builder takes the same code path
+// and produces bit-identical output (enforced by differential test).
+type BudgetPlan struct {
+	// TotalBytes is the unified budget the plan splits
+	// (StructBytes + ValueBytes).
+	TotalBytes int `json:"total_bytes"`
+	// StructBytes is Bstr: the byte budget for nodes, edges and edge
+	// counts.
+	StructBytes int `json:"struct_bytes"`
+	// ValueBytes is Bval: the byte budget for value summaries.
+	ValueBytes int `json:"value_bytes"`
+
+	// The component split. Node+Edge refine StructBytes;
+	// Histogram+PST+TermHist refine ValueBytes. All zero means
+	// "unsplit" — the legacy two-budget behavior.
+	NodeBytes      int `json:"node_bytes,omitempty"`
+	EdgeBytes      int `json:"edge_bytes,omitempty"`
+	HistogramBytes int `json:"histogram_bytes,omitempty"`
+	PSTBytes       int `json:"pst_bytes,omitempty"`
+	TermHistBytes  int `json:"termhist_bytes,omitempty"`
+
+	// Provenance tells where the split came from: static, auto, or
+	// workload.
+	Provenance Provenance `json:"provenance,omitempty"`
+	// WorkloadFingerprint is the fingerprint of the WorkloadProfile a
+	// workload-derived plan was computed from (empty otherwise).
+	WorkloadFingerprint string `json:"workload_fingerprint,omitempty"`
+}
+
+// PlanFromBudgets synthesizes a static plan from the legacy Bstr/Bval
+// pair. The component split stays zero ("unsplit"), so a build under
+// this plan is bit-identical to one under the raw ints.
+func PlanFromBudgets(structBudget, valueBudget int) BudgetPlan {
+	return BudgetPlan{
+		TotalBytes:  structBudget + valueBudget,
+		StructBytes: structBudget,
+		ValueBytes:  valueBudget,
+		Provenance:  ProvenanceStatic,
+	}
+}
+
+// IsZero reports whether the plan carries no decision at all.
+func (p BudgetPlan) IsZero() bool { return p == BudgetPlan{} }
+
+// StructBudget is the Bstr the plan assigns (nodes + edges).
+func (p BudgetPlan) StructBudget() int { return p.StructBytes }
+
+// ValueBudget is the Bval the plan assigns (all value summaries).
+func (p BudgetPlan) ValueBudget() int { return p.ValueBytes }
+
+// HasValueSplit reports whether the plan splits the value budget
+// across summary kinds (directing the per-kind value phase) rather
+// than leaving Bval as one pool.
+func (p BudgetPlan) HasValueSplit() bool {
+	return p.HistogramBytes > 0 || p.PSTBytes > 0 || p.TermHistBytes > 0
+}
+
+// valueKindBudget is the plan's sub-budget for one summary kind.
+func (p BudgetPlan) valueKindBudget(vt xmltree.ValueType) int {
+	switch vt {
+	case xmltree.TypeNumeric:
+		return p.HistogramBytes
+	case xmltree.TypeString:
+		return p.PSTBytes
+	case xmltree.TypeText:
+		return p.TermHistBytes
+	}
+	return 0
+}
+
+// Normalize fills derivable fields and validates consistency: group
+// sums are reconciled with the component split, the total with the
+// group sums. It returns the completed plan or an error naming the
+// inconsistency.
+func (p BudgetPlan) Normalize() (BudgetPlan, error) {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"total_bytes", p.TotalBytes}, {"struct_bytes", p.StructBytes}, {"value_bytes", p.ValueBytes},
+		{"node_bytes", p.NodeBytes}, {"edge_bytes", p.EdgeBytes},
+		{"histogram_bytes", p.HistogramBytes}, {"pst_bytes", p.PSTBytes}, {"termhist_bytes", p.TermHistBytes},
+	} {
+		if f.v < 0 {
+			return p, fmt.Errorf("core: budget plan: negative %s %d", f.name, f.v)
+		}
+	}
+	if s := p.NodeBytes + p.EdgeBytes; s > 0 {
+		if p.StructBytes == 0 {
+			p.StructBytes = s
+		} else if p.StructBytes != s {
+			return p, fmt.Errorf("core: budget plan: struct_bytes %d != node_bytes+edge_bytes %d", p.StructBytes, s)
+		}
+	}
+	if s := p.HistogramBytes + p.PSTBytes + p.TermHistBytes; s > 0 {
+		if p.ValueBytes == 0 {
+			p.ValueBytes = s
+		} else if p.ValueBytes != s {
+			return p, fmt.Errorf("core: budget plan: value_bytes %d != histogram+pst+termhist bytes %d", p.ValueBytes, s)
+		}
+	}
+	if s := p.StructBytes + p.ValueBytes; p.TotalBytes == 0 {
+		p.TotalBytes = s
+	} else if p.TotalBytes != s {
+		return p, fmt.Errorf("core: budget plan: total_bytes %d != struct_bytes+value_bytes %d", p.TotalBytes, s)
+	}
+	if p.Provenance == "" {
+		p.Provenance = ProvenanceStatic
+	}
+	return p, nil
+}
+
+// String renders the plan on one line for logs and debug endpoints.
+func (p BudgetPlan) String() string {
+	if p.IsZero() {
+		return "no plan"
+	}
+	s := fmt.Sprintf("%s total=%d bstr=%d bval=%d", p.Provenance, p.TotalBytes, p.StructBytes, p.ValueBytes)
+	if p.NodeBytes+p.EdgeBytes > 0 {
+		s += fmt.Sprintf(" node=%d edge=%d", p.NodeBytes, p.EdgeBytes)
+	}
+	if p.HasValueSplit() {
+		s += fmt.Sprintf(" hist=%d pst=%d termhist=%d", p.HistogramBytes, p.PSTBytes, p.TermHistBytes)
+	}
+	if p.WorkloadFingerprint != "" {
+		s += " workload=" + p.WorkloadFingerprint
+	}
+	return s
+}

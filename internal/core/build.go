@@ -23,6 +23,14 @@ type BuildOptions struct {
 	StructBudget int
 	// ValueBudget is Bval: the byte budget for value summaries.
 	ValueBudget int
+	// Plan, when non-nil, supplies the budgets as a first-class
+	// BudgetPlan: StructBudget/ValueBudget are taken from the plan
+	// (setting them alongside a disagreeing plan is an error), a
+	// non-zero value split directs the per-kind value phase, and the
+	// plan (provenance, workload fingerprint, split) is stamped into
+	// the build fingerprint. A nil Plan synthesizes a static plan from
+	// the two ints — the exact legacy code path, bit for bit.
+	Plan *BudgetPlan
 	// Hm caps the candidate-merge pool; Hl is the replenish threshold
 	// (the paper uses 10000 / 5000).
 	Hm, Hl int
@@ -171,6 +179,13 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("core: build workers must be non-negative (0 = GOMAXPROCS), got %d", opts.Workers)
 	}
+	plan, err := opts.resolvePlan()
+	if err != nil {
+		return nil, err
+	}
+	opts.Plan = &plan
+	opts.StructBudget = plan.StructBudget()
+	opts.ValueBudget = plan.ValueBudget()
 	opts = opts.withDefaults()
 	buildStart := time.Now()
 	b := newBuilder(ctx, ref.Clone(), opts)
@@ -218,9 +233,31 @@ func XClusterBuildContext(ctx context.Context, ref *Synopsis, opts BuildOptions)
 	// not part of the synopsis identity.
 	s.fp.StructBudget = opts.StructBudget
 	s.fp.ValueBudget = opts.ValueBudget
+	s.fp.Plan = plan
 	s.fp.BuiltAtUnix = time.Now().Unix()
 	s.fp.BuildNanos = time.Since(buildStart).Nanoseconds()
 	return s, nil
+}
+
+// resolvePlan turns the options' budget configuration into one
+// normalized BudgetPlan: the explicit Plan when set (its budgets must
+// not disagree with any raw ints also set), otherwise a static plan
+// synthesized from StructBudget/ValueBudget.
+func (o BuildOptions) resolvePlan() (BudgetPlan, error) {
+	if o.Plan == nil {
+		return PlanFromBudgets(o.StructBudget, o.ValueBudget), nil
+	}
+	plan, err := o.Plan.Normalize()
+	if err != nil {
+		return BudgetPlan{}, err
+	}
+	if o.StructBudget != 0 && o.StructBudget != plan.StructBudget() {
+		return BudgetPlan{}, fmt.Errorf("core: StructBudget %d conflicts with plan Bstr %d", o.StructBudget, plan.StructBudget())
+	}
+	if o.ValueBudget != 0 && o.ValueBudget != plan.ValueBudget() {
+		return BudgetPlan{}, fmt.Errorf("core: ValueBudget %d conflicts with plan Bval %d", o.ValueBudget, plan.ValueBudget())
+	}
+	return plan, nil
 }
 
 // newBuilder assembles a builder with its incremental indexes. The memo
@@ -1061,15 +1098,47 @@ func (b *builder) newValCand(u *Node, excess int) *valCand {
 	}
 }
 
+// valuePhase compresses value summaries within ValueBudget. When the
+// resolved plan splits the value budget across summary kinds, each kind
+// is first compressed toward its own sub-budget (so a workload-derived
+// plan can, say, spend PST bytes on term histograms); the global pass
+// then enforces the Bval total exactly as in the paper, reclaiming any
+// slack a kind could not use. Unsplit plans — every legacy caller —
+// take only the global pass, bit for bit the original behavior.
 func (b *builder) valuePhase() error {
-	cur := b.s.ValueBytes()
-	budget := b.opts.ValueBudget
+	if p := b.opts.Plan; p != nil && p.HasValueSplit() {
+		for _, vt := range []xmltree.ValueType{xmltree.TypeNumeric, xmltree.TypeString, xmltree.TypeText} {
+			vt := vt
+			err := b.compressValues(p.valueKindBudget(vt), func(n *Node) bool {
+				return n.VSum != nil && n.VSum.Type() == vt
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return b.compressValues(b.opts.ValueBudget, func(n *Node) bool { return n.VSum != nil })
+}
+
+// compressValues runs one minimum-marginal-loss compression pass over
+// the summaries include admits, stopping when their combined charge
+// fits budget or no admitted summary can shrink further.
+func (b *builder) compressValues(budget int, include func(*Node) bool) error {
+	cur := 0
+	for _, n := range b.s.Nodes() {
+		if include(n) {
+			cur += n.VSum.SizeBytes()
+		}
+	}
 	if cur <= budget {
 		return nil
 	}
-	defer func() { b.emitProgress("value", cur) }()
+	defer func() { b.emitProgress("value", b.s.ValueBytes()) }()
 	var h valHeap
 	for _, n := range b.s.Nodes() {
+		if !include(n) {
+			continue
+		}
 		if c := b.newValCand(n, cur-budget); c != nil {
 			h = append(h, c)
 		}

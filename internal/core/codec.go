@@ -17,6 +17,8 @@ import (
 //	XCLUSTER1\n  graph + dictionary + value summaries (legacy)
 //	XCLUSTER2\n  adds a fingerprint header (doc hash, budgets,
 //	             generation, build time) before the v1 body
+//	XCLUSTER3\n  extends the header with the BudgetPlan (component
+//	             split, provenance, workload fingerprint)
 //
 // WriteTo always writes the current version; ReadSynopsis decodes
 // every version it knows and fails with ErrSynopsisVersion on versions
@@ -25,10 +27,11 @@ import (
 var (
 	magicV1 = []byte("XCLUSTER1\n")
 	magicV2 = []byte("XCLUSTER2\n")
+	magicV3 = []byte("XCLUSTER3\n")
 )
 
 // CodecVersion is the synopsis file format version WriteTo produces.
-const CodecVersion = 2
+const CodecVersion = 3
 
 // ErrSynopsisVersion reports a synopsis file whose format version this
 // build cannot decode. Test with errors.Is.
@@ -40,9 +43,9 @@ var ErrSynopsisVersion = errors.New("core: unsupported synopsis format version")
 // io.WriterTo.
 func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	ww := wire.NewWriter(w)
-	ww.Bytes(magicV2)
+	ww.Bytes(magicV3)
 
-	// Fingerprint header (v2).
+	// Fingerprint header (v2 fields, then the v3 budget plan).
 	ww.Uint(s.fp.DocHash)
 	ww.Int(s.fp.StructBudget)
 	ww.Int(s.fp.ValueBudget)
@@ -50,6 +53,16 @@ func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	ww.Int(int(s.fp.BuiltAtUnix))
 	ww.Int(int(s.fp.BuildNanos))
 	ww.String(s.fp.BuildOptions)
+	ww.Int(s.fp.Plan.TotalBytes)
+	ww.Int(s.fp.Plan.StructBytes)
+	ww.Int(s.fp.Plan.ValueBytes)
+	ww.Int(s.fp.Plan.NodeBytes)
+	ww.Int(s.fp.Plan.EdgeBytes)
+	ww.Int(s.fp.Plan.HistogramBytes)
+	ww.Int(s.fp.Plan.PSTBytes)
+	ww.Int(s.fp.Plan.TermHistBytes)
+	ww.String(string(s.fp.Plan.Provenance))
+	ww.String(s.fp.Plan.WorkloadFingerprint)
 
 	// Term dictionary.
 	ww.Uint(uint64(s.dict.Len()))
@@ -91,9 +104,11 @@ func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	return ww.Len(), nil
 }
 
-// ReadSynopsis deserializes a synopsis written by WriteTo. Both format
+// ReadSynopsis deserializes a synopsis written by WriteTo. All format
 // versions decode: v1 files yield a zero fingerprint, v2 files carry
-// their build identity. Unknown versions fail with ErrSynopsisVersion.
+// their build identity with a zero budget plan (unknown provenance),
+// v3 files carry the full plan. Unknown versions fail with
+// ErrSynopsisVersion.
 func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	rr := wire.NewReader(r)
 	// In-memory readers self-report their size (wire.NewReader detects
@@ -112,7 +127,7 @@ func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	switch string(head) {
 	case string(magicV1):
 		// Legacy artifact: no header, zero fingerprint.
-	case string(magicV2):
+	case string(magicV2), string(magicV3):
 		fp.DocHash = rr.Uint()
 		fp.StructBudget = rr.Int()
 		fp.ValueBudget = rr.Int()
@@ -120,6 +135,18 @@ func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 		fp.BuiltAtUnix = int64(rr.Int())
 		fp.BuildNanos = int64(rr.Int())
 		fp.BuildOptions = rr.String()
+		if string(head) == string(magicV3) {
+			fp.Plan.TotalBytes = rr.Int()
+			fp.Plan.StructBytes = rr.Int()
+			fp.Plan.ValueBytes = rr.Int()
+			fp.Plan.NodeBytes = rr.Int()
+			fp.Plan.EdgeBytes = rr.Int()
+			fp.Plan.HistogramBytes = rr.Int()
+			fp.Plan.PSTBytes = rr.Int()
+			fp.Plan.TermHistBytes = rr.Int()
+			fp.Plan.Provenance = Provenance(rr.String())
+			fp.Plan.WorkloadFingerprint = rr.String()
+		}
 		if err := rr.Err(); err != nil {
 			return nil, fmt.Errorf("core: ReadSynopsis: header: %w", err)
 		}

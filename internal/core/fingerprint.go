@@ -42,6 +42,14 @@ type Fingerprint struct {
 	// BuildNanos is the wall time of the build (reference construction
 	// excluded for XClusterBuildContext; 0 when unknown).
 	BuildNanos int64 `json:"build_nanos,omitempty"`
+	// Plan is the resolved BudgetPlan the compression ran under:
+	// StructBudget/ValueBudget above mirror its group totals, and the
+	// plan adds the component split, provenance (static | auto |
+	// workload) and the WorkloadProfile fingerprint of an adaptive
+	// plan. It is stamped by XClusterBuildContext and serialized in
+	// version-3 files; a synopsis restored from a v1/v2 file has a
+	// zero Plan (unknown provenance).
+	Plan BudgetPlan `json:"plan,omitzero"`
 }
 
 // IsZero reports whether the fingerprint carries no provenance (legacy
@@ -55,6 +63,12 @@ func (f Fingerprint) String() string {
 		return "unfingerprinted (pre-v2 artifact)"
 	}
 	s := fmt.Sprintf("doc=%016x gen=%d bstr=%d bval=%d", f.DocHash, f.Generation, f.StructBudget, f.ValueBudget)
+	if p := f.Plan; !p.IsZero() && p.Provenance != ProvenanceStatic {
+		s += " plan=" + string(p.Provenance)
+		if p.WorkloadFingerprint != "" {
+			s += " workload=" + p.WorkloadFingerprint
+		}
+	}
 	if f.BuiltAtUnix != 0 {
 		s += " built=" + time.Unix(f.BuiltAtUnix, 0).UTC().Format(time.RFC3339)
 	}

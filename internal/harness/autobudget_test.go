@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"xcluster/internal/core"
+)
+
+// stableBytes serializes a synopsis with the wall-clock fingerprint
+// fields zeroed, so two builds of the same inputs compare byte-equal.
+func stableBytes(t *testing.T, s *core.Synopsis) []byte {
+	t.Helper()
+	fp := s.Fingerprint()
+	fp.BuiltAtUnix, fp.BuildNanos = 0, 0
+	s.SetFingerprint(fp)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPlanDifferentialOnFixtures is the fixture-level half of the
+// BudgetPlan compatibility contract: on both benchmark fixtures, the
+// legacy StructBudget/ValueBudget ints and a plan synthesized from the
+// same pair must build byte-identical synopses and return identical
+// estimates for every workload query.
+func TestPlanDifferentialOnFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fixture builds; skipped in -short")
+	}
+	cfg := smallCfg()
+	for _, name := range DatasetNames() {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDataset(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dcfg := cfg.forDataset(name)
+			budgets := dcfg.StructBudgets(d)
+			bstr, bval := budgets[len(budgets)-1], dcfg.ValueBudget(d)
+
+			legacy, err := core.XClusterBuild(d.Ref, core.BuildOptions{
+				StructBudget: bstr, ValueBudget: bval,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := core.PlanFromBudgets(bstr, bval)
+			planned, err := core.XClusterBuild(d.Ref, core.BuildOptions{Plan: &plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			le, pe := core.NewEstimator(legacy), core.NewEstimator(planned)
+			for _, q := range d.Workload.Queries {
+				if a, b := le.Selectivity(q.Q), pe.Selectivity(q.Q); a != b {
+					t.Fatalf("estimate diverges on %s: %g vs %g", q.Q, a, b)
+				}
+			}
+			a, b := stableBytes(t, legacy), stableBytes(t, planned)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("legacy ints and synthesized plan serialized differently (%d vs %d bytes)", len(a), len(b))
+			}
+		})
+	}
+}

@@ -218,20 +218,34 @@ func TestAutoBudgetExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4 (3 fixed + auto)", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (3 fixed + auto + workload)", len(rows))
 	}
 	for _, r := range rows {
-		if r.Overall < 0 || r.Bstr < 0 {
+		if r.Overall < 0 || r.Bstr < 0 || r.Bval < 0 {
 			t.Fatalf("bad row %+v", r)
 		}
 	}
-	if rows[len(rows)-1].Split != "auto (sample-guided)" {
-		t.Fatalf("last row = %+v", rows[len(rows)-1])
+	if rows[3].Split != "auto (sample-guided)" || rows[3].Provenance != "auto" {
+		t.Fatalf("auto row = %+v", rows[3])
+	}
+	wl := rows[4]
+	if wl.Split != "workload (planner)" || wl.Provenance != "workload" {
+		t.Fatalf("workload row = %+v", wl)
+	}
+	if wl.Plan == nil || !wl.Plan.HasValueSplit() || wl.Plan.WorkloadFingerprint == "" {
+		t.Fatalf("workload row carries no component plan: %+v", wl.Plan)
+	}
+	if wl.Bstr+wl.Bval != rows[2].Bstr+rows[2].Bval {
+		t.Fatalf("workload row total %d != fixed 50%% total %d",
+			wl.Bstr+wl.Bval, rows[2].Bstr+rows[2].Bval)
 	}
 	out := FormatAutoBudget(rows)
-	if !strings.Contains(out, "auto") {
-		t.Fatal("format missing auto row")
+	if !strings.Contains(out, "auto") || !strings.Contains(out, "workload") {
+		t.Fatal("format missing auto or workload row")
+	}
+	if !strings.Contains(FormatAutoBudgetJSON(rows), `"provenance": "workload"`) {
+		t.Fatal("JSON missing workload provenance")
 	}
 }
 

@@ -304,6 +304,10 @@ type RebuildRequest struct {
 	// budgets (nonpositive or absent: keep the current ones).
 	StructBudget int `json:"struct_budget,omitempty"`
 	ValueBudget  int `json:"value_budget,omitempty"`
+	// Adaptive asks the workload-adaptive planner to re-split the
+	// inherited total (ignored when explicit budgets are given; 412
+	// when the workload profiler is disabled).
+	Adaptive bool `json:"adaptive,omitempty"`
 	// Async returns 202 immediately and rebuilds in the background;
 	// poll GET /debug/synopsis for the outcome.
 	Async bool `json:"async,omitempty"`
@@ -332,6 +336,7 @@ const explainLimit = 5
 //	GET  /debug/traces    retained request trace trees per family
 //	GET  /debug/slo       availability/latency error-budget burn rates
 //	GET  /debug/workload  live workload profile: shape top-K, class mix, pain scores, coverage (?limit=N)
+//	GET  /debug/budget    serving budget plan, planned vs actual split, last planner run, next-rebuild dry run
 //	GET  /admin/workload/export  the versioned WorkloadProfile JSON artifact
 //
 // Every request is wrapped in request correlation: a well-formed client
@@ -354,6 +359,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	mux.HandleFunc("GET /debug/budget", s.handleBudget)
 	mux.HandleFunc("GET /admin/workload/export", s.handleWorkloadExport)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
@@ -447,6 +453,13 @@ func (s *Service) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.WorkloadReport(limit, capped))
+}
+
+// handleBudget implements GET /debug/budget: the serving generation's
+// budget plan with planned-vs-actual bytes, the planner run behind the
+// last adaptive rebuild, and a dry-run of the next one.
+func (s *Service) handleBudget(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.BudgetReport())
 }
 
 // handleWorkloadExport implements GET /admin/workload/export: the
@@ -830,6 +843,7 @@ func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	opts := RebuildOptions{
 		StructBudget: req.StructBudget,
 		ValueBudget:  req.ValueBudget,
+		Adaptive:     req.Adaptive,
 		Reason:       req.Reason,
 	}
 	if req.Async {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xcluster/internal/core"
+	"xcluster/internal/profile"
 )
 
 // Lifecycle errors, tested with errors.Is by the HTTP layer.
@@ -70,6 +71,12 @@ type SwapEvent struct {
 	// Build carries the construction statistics when the swap came from
 	// a Rebuild (nil for reloads, whose synopsis was built elsewhere).
 	Build *core.BuildStats `json:"build,omitempty"`
+	// Plan is the budget plan the installed generation was built under
+	// (provenance included; nil for legacy artifacts that carry none).
+	// ActualSplit is the realized byte split, so every swap records
+	// planned versus actual.
+	Plan        *core.BudgetPlan     `json:"plan,omitempty"`
+	ActualSplit *profile.BudgetSplit `json:"actual_split,omitempty"`
 	// WorkloadFingerprint is the workload profiler's mix fingerprint at
 	// swap time (empty when profiling is disabled), recording which
 	// traffic mix was live when the generation was installed — the
@@ -156,6 +163,7 @@ func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration, bu
 	s.swaps.Inc()
 	s.swapMu.Unlock()
 	old.est.InvalidateCaches()
+	split := actualSplit(syn)
 	ev := SwapEvent{
 		OldGeneration:       old.syn.Fingerprint().Generation,
 		NewGeneration:       fp.Generation,
@@ -165,7 +173,11 @@ func (s *Service) install(syn *core.Synopsis, reason string, d time.Duration, bu
 		Duration:            d,
 		DurationString:      d.String(),
 		Build:               build,
+		ActualSplit:         &split,
 		WorkloadFingerprint: s.prof.Fingerprint(time.Now()),
+	}
+	if plan := fp.Plan; !plan.IsZero() {
+		ev.Plan = &plan
 	}
 	if s.onSwap != nil {
 		s.onSwap(ev)
@@ -195,11 +207,16 @@ func (s *Service) Reload(ctx context.Context) (SwapEvent, error) {
 // RebuildOptions parameterize one Rebuild.
 type RebuildOptions struct {
 	// StructBudget and ValueBudget are the byte budgets of the new
-	// synopsis. Nonpositive values inherit, in order: the current
-	// fingerprint's budgets, the service's WithRebuildBudgets defaults,
-	// and finally the current synopsis's actual struct/value sizes.
+	// synopsis. Nonpositive values inherit down the precedence chain
+	// documented on rebuild.
 	StructBudget int `json:"struct_budget,omitempty"`
 	ValueBudget  int `json:"value_budget,omitempty"`
+	// Adaptive asks the internal/budget planner to re-split the
+	// inherited total budget from the live workload profile (ignored
+	// when explicit budgets are given — an operator override always
+	// wins). Drift-triggered rebuilds set it when WithAdaptiveBudget is
+	// configured.
+	Adaptive bool `json:"adaptive,omitempty"`
 	// Reason is recorded in the swap event and rebuild status
 	// ("rebuild" when empty).
 	Reason string `json:"reason,omitempty"`
@@ -302,9 +319,28 @@ func (s *Service) Rebuild(ctx context.Context, opts RebuildOptions) (SwapEvent, 
 
 // rebuild is Rebuild's body: build the new generation off the serving
 // path, then install it.
+//
+// Budget precedence, highest to lowest (contractual — tested by
+// TestRebuildBudgetPrecedence, documented in DESIGN.md §16):
+//
+//  1. Explicit RebuildOptions budgets: an operator override beats
+//     everything, including the adaptive planner.
+//  2. Adaptive plan: with opts.Adaptive set and no explicit budgets,
+//     the internal/budget planner re-splits the total inherited from
+//     steps 3–5 according to the live workload profile.
+//  3. The serving fingerprint's budgets (rebuild what was built).
+//  4. The WithRebuildBudgets defaults (legacy artifacts carry no
+//     fingerprint budgets).
+//  5. The serving synopsis's actual struct/value sizes (last resort:
+//     rebuild at the size being served).
+//
+// Each group (struct, value) walks 3–5 independently; the adaptive
+// planner then redistributes their sum, so step 2 changes the split,
+// never the total.
 func (s *Service) rebuild(ctx context.Context, opts RebuildOptions, t0 time.Time) (SwapEvent, error) {
 	cur := s.cur.Load()
 	fp := cur.syn.Fingerprint()
+	explicit := opts.StructBudget > 0 || opts.ValueBudget > 0
 	if opts.StructBudget <= 0 {
 		opts.StructBudget = fp.StructBudget
 	}
@@ -326,6 +362,18 @@ func (s *Service) rebuild(ctx context.Context, opts RebuildOptions, t0 time.Time
 	if opts.Reason == "" {
 		opts.Reason = "rebuild"
 	}
+	var plan *core.BudgetPlan
+	if opts.Adaptive && !explicit {
+		d, err := s.planAdaptive(opts.StructBudget + opts.ValueBudget)
+		if err != nil {
+			return SwapEvent{}, fmt.Errorf("service: rebuild: %w", err)
+		}
+		p := d.Plan
+		plan = &p
+		// The plan carries the group budgets; the build resolves them
+		// from it (passing both would be a conflict).
+		opts.StructBudget, opts.ValueBudget = 0, 0
+	}
 
 	ref, err := core.BuildReference(s.doc, s.refOpts)
 	if err != nil {
@@ -339,6 +387,7 @@ func (s *Service) rebuild(ctx context.Context, opts RebuildOptions, t0 time.Time
 	built, err := core.XClusterBuildContext(ctx, ref, core.BuildOptions{
 		StructBudget: opts.StructBudget,
 		ValueBudget:  opts.ValueBudget,
+		Plan:         plan,
 		Workers:      s.buildWorkers,
 		Metrics:      s.reg,
 		Stats:        &st,

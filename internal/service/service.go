@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"xcluster/internal/accuracy"
+	"xcluster/internal/budget"
 	"xcluster/internal/core"
 	"xcluster/internal/obs"
 	"xcluster/internal/profile"
@@ -195,6 +196,13 @@ type Service struct {
 	refOpts        core.ReferenceOptions
 	buildWorkers   int
 
+	// Adaptive budget planning (see adaptive.go): planMu guards the
+	// last planner run recorded for GET /debug/budget.
+	adaptiveBudget   bool
+	planMu           sync.Mutex
+	lastPlanInputs   *budget.Inputs
+	lastPlanDecision *budget.Decision
+
 	// reg aggregates every metric the service and its estimator emit;
 	// slow is the optional slow-query ring (nil when disabled).
 	reg  *obs.Registry
@@ -287,7 +295,8 @@ func New(syn *core.Synopsis, opts ...Option) *Service {
 			// rebuilds are best-effort by design.
 			go func() {
 				_, _ = s.Rebuild(context.Background(), RebuildOptions{
-					Reason: "drift:" + ev.Class.String(),
+					Reason:   "drift:" + ev.Class.String(),
+					Adaptive: s.adaptiveBudget,
 				})
 			}()
 		}))
@@ -346,6 +355,10 @@ func (s *Service) wireMetrics() {
 	r.Help("xcluster_shadow_dropped_total", "Sampled estimates lost to overload, deadline expiry, or evaluator errors.")
 	r.Help("xcluster_synopsis_generation", "Build generation of the currently served synopsis.")
 	r.Help("xcluster_rebuilds_total", "Synopsis rebuilds attempted, by outcome.")
+	r.Help("xcluster_budget_plan_total_bytes", "Total byte budget of the serving synopsis's plan.")
+	r.Help("xcluster_budget_plan_provenance", "1 for the serving plan's provenance (static, auto, workload), 0 otherwise.")
+	r.Help("xcluster_budget_planned_bytes", "Planned byte budget of the serving synopsis by component (0 when the plan leaves the component unsplit).")
+	r.Help("xcluster_budget_actual_bytes", "Realized bytes of the serving synopsis by component.")
 	r.Help("xcluster_rebuild_seconds", "End-to-end wall time of successful synopsis rebuilds (build through swap).")
 	r.Help("xcluster_synopsis_swaps_total", "Synopsis hot swaps performed (reloads and rebuilds).")
 	if s.prof != nil {
@@ -407,6 +420,7 @@ func (s *Service) syncRegistry() {
 	if s.prof != nil {
 		s.prof.Sync(r, s.mon.Report(), time.Now())
 	}
+	s.syncBudgetGauges()
 	s.slo.Sync(r)
 }
 
